@@ -1,0 +1,102 @@
+//! The *Pair reconstruction* component (paper Section 3.1).
+//!
+//! Takes the landmark entity and one perturbation (a mask over the varying
+//! view's tokens) and rebuilds a well-formed [`EntityPair`]: the landmark
+//! side is copied verbatim, the varying side is detokenized from the kept
+//! tokens. The attribute prefixes carried by [`em_entity::Token`] are what
+//! makes this reconstruction possible — and they are erased in the output,
+//! which contains plain attribute values again.
+
+use em_entity::{detokenize, EntityPair, Token};
+
+use crate::generation::VaryingView;
+
+/// Rebuilds the record for one perturbation mask.
+///
+/// # Panics
+/// Panics (debug) if `mask.len() != view.tokens.len()`.
+pub fn reconstruct_with_landmark(
+    original: &EntityPair,
+    view: &VaryingView,
+    mask: &[bool],
+    n_attributes: usize,
+) -> EntityPair {
+    debug_assert_eq!(mask.len(), view.tokens.len());
+    let kept: Vec<Token> = view
+        .tokens
+        .iter()
+        .zip(mask)
+        .filter(|(_, &keep)| keep)
+        .map(|(t, _)| t.clone())
+        .collect();
+    let varying_entity = detokenize(&kept, n_attributes);
+    original.with_entity(view.varying, varying_entity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generation::generate_view;
+    use crate::strategy::ResolvedStrategy;
+    use em_entity::{Entity, EntitySide};
+
+    fn pair() -> EntityPair {
+        EntityPair::new(
+            Entity::new(vec!["sony camera", "849.99"]),
+            Entity::new(vec!["nikon case", "7.99"]),
+        )
+    }
+
+    #[test]
+    fn full_mask_reproduces_the_record() {
+        let p = pair();
+        let view = generate_view(&p, EntitySide::Left, ResolvedStrategy::SingleEntity);
+        let mask = vec![true; view.tokens.len()];
+        assert_eq!(reconstruct_with_landmark(&p, &view, &mask, 2), p);
+    }
+
+    #[test]
+    fn landmark_side_is_never_touched() {
+        let p = pair();
+        let view = generate_view(&p, EntitySide::Left, ResolvedStrategy::DoubleEntity);
+        let mask = vec![false; view.tokens.len()];
+        let rec = reconstruct_with_landmark(&p, &view, &mask, 2);
+        assert_eq!(rec.left, p.left);
+        assert_eq!(rec.right, Entity::empty(2));
+    }
+
+    #[test]
+    fn partial_mask_drops_tokens_from_varying_side_only() {
+        let p = pair();
+        let view = generate_view(&p, EntitySide::Left, ResolvedStrategy::SingleEntity);
+        // Drop "case" (index 1 of [nikon, case, 7.99]).
+        let mask = vec![true, false, true];
+        let rec = reconstruct_with_landmark(&p, &view, &mask, 2);
+        assert_eq!(rec.left, p.left);
+        assert_eq!(rec.right.value(0), "nikon");
+        assert_eq!(rec.right.value(1), "7.99");
+    }
+
+    #[test]
+    fn double_entity_mask_can_turn_nonmatch_into_match() {
+        let p = pair();
+        let view = generate_view(&p, EntitySide::Left, ResolvedStrategy::DoubleEntity);
+        // Keep only the injected landmark tokens: the varying entity becomes
+        // a copy of the landmark's values.
+        let mask: Vec<bool> = view.injected.clone();
+        let rec = reconstruct_with_landmark(&p, &view, &mask, 2);
+        assert_eq!(rec.right.value(0), "sony camera");
+        assert_eq!(rec.right.value(1), "849.99");
+        assert_eq!(rec.left, p.left);
+    }
+
+    #[test]
+    fn right_landmark_reconstruction_varies_left() {
+        let p = pair();
+        let view = generate_view(&p, EntitySide::Right, ResolvedStrategy::SingleEntity);
+        let mask = vec![false; view.tokens.len()];
+        let rec = reconstruct_with_landmark(&p, &view, &mask, 2);
+        assert_eq!(rec.right, p.right);
+        assert_eq!(rec.left, Entity::empty(2));
+    }
+}

@@ -1,0 +1,183 @@
+//! Explanation summarization — the paper's future work (Section 5):
+//! *"techniques for summarizing the explanations to facilitate the
+//! interpretation of the EM model as a whole."*
+//!
+//! [`summarize`] aggregates many per-record [`LandmarkExplanation`]s into a
+//! global picture: mean absolute attribute importance and the tokens that
+//! recur with the strongest consistent push towards match / non-match.
+
+use std::collections::HashMap;
+
+use em_entity::Schema;
+
+use crate::explainer::LandmarkExplanation;
+
+/// Aggregate of one token's appearances across explanations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenAggregate {
+    /// The token text (attribute-qualified: `attr/text`).
+    pub key: String,
+    /// Number of explanations the token appeared in.
+    pub count: usize,
+    /// Mean weight across appearances.
+    pub mean_weight: f64,
+}
+
+/// A global summary over many explanations.
+#[derive(Debug, Clone)]
+pub struct ExplanationSummary {
+    /// Mean absolute token weight per attribute.
+    pub attribute_importance: Vec<f64>,
+    /// Tokens sorted by descending mean weight (strongest match evidence
+    /// first).
+    pub match_tokens: Vec<TokenAggregate>,
+    /// Tokens sorted by ascending mean weight (strongest non-match
+    /// evidence first).
+    pub non_match_tokens: Vec<TokenAggregate>,
+    /// Number of explanations aggregated.
+    pub n_explanations: usize,
+}
+
+/// Aggregates explanations into a summary. Tokens appearing fewer than
+/// `min_count` times are dropped from the token lists (they still count
+/// towards attribute importance).
+pub fn summarize(
+    schema: &Schema,
+    explanations: &[&LandmarkExplanation],
+    min_count: usize,
+) -> ExplanationSummary {
+    let mut attr_sum = vec![0.0; schema.len()];
+    let mut attr_n = vec![0usize; schema.len()];
+    let mut token_stats: HashMap<String, (usize, f64)> = HashMap::new();
+
+    for le in explanations {
+        for tw in &le.explanation.token_weights {
+            attr_sum[tw.token.attribute] += tw.weight.abs();
+            attr_n[tw.token.attribute] += 1;
+            let key = format!("{}/{}", schema.name(tw.token.attribute), tw.token.text);
+            let entry = token_stats.entry(key).or_insert((0, 0.0));
+            entry.0 += 1;
+            entry.1 += tw.weight;
+        }
+    }
+
+    let attribute_importance = attr_sum
+        .iter()
+        .zip(&attr_n)
+        .map(|(&s, &n)| if n == 0 { 0.0 } else { s / n as f64 })
+        .collect();
+
+    let mut aggregates: Vec<TokenAggregate> = token_stats
+        .into_iter()
+        .filter(|(_, (count, _))| *count >= min_count)
+        .map(|(key, (count, sum))| TokenAggregate { key, count, mean_weight: sum / count as f64 })
+        .collect();
+    aggregates.sort_by(|a, b| {
+        b.mean_weight
+            .partial_cmp(&a.mean_weight)
+            .expect("finite weights")
+            .then_with(|| a.key.cmp(&b.key))
+    });
+    let match_tokens: Vec<TokenAggregate> =
+        aggregates.iter().filter(|a| a.mean_weight > 0.0).cloned().collect();
+    let mut non_match_tokens: Vec<TokenAggregate> =
+        aggregates.into_iter().filter(|a| a.mean_weight < 0.0).collect();
+    non_match_tokens.reverse();
+
+    ExplanationSummary {
+        attribute_importance,
+        match_tokens,
+        non_match_tokens,
+        n_explanations: explanations.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::ResolvedStrategy;
+    use em_entity::{EntitySide, Token};
+    use em_lime::explanation::{PairExplanation, TokenWeight};
+
+    fn le(weights: Vec<(usize, &str, f64)>) -> LandmarkExplanation {
+        let token_weights = weights
+            .into_iter()
+            .map(|(attr, text, weight)| TokenWeight {
+                side: EntitySide::Right,
+                token: Token::new(attr, 0, text),
+                weight,
+            })
+            .collect::<Vec<_>>();
+        let injected = vec![false; token_weights.len()];
+        LandmarkExplanation {
+            landmark: EntitySide::Left,
+            varying: EntitySide::Right,
+            strategy: ResolvedStrategy::SingleEntity,
+            explanation: PairExplanation {
+                token_weights,
+                intercept: 0.0,
+                model_prediction: 0.5,
+                surrogate_prediction: 0.5,
+                surrogate_r2: 1.0,
+            },
+            injected,
+        }
+    }
+
+    fn schema() -> Schema {
+        Schema::from_names(vec!["name", "price"])
+    }
+
+    #[test]
+    fn attribute_importance_is_mean_absolute_weight() {
+        let a = le(vec![(0, "sony", 0.4), (1, "849.99", -0.2)]);
+        let b = le(vec![(0, "sony", 0.6)]);
+        let s = summarize(&schema(), &[&a, &b], 1);
+        assert!((s.attribute_importance[0] - 0.5).abs() < 1e-12);
+        assert!((s.attribute_importance[1] - 0.2).abs() < 1e-12);
+        assert_eq!(s.n_explanations, 2);
+    }
+
+    #[test]
+    fn recurring_tokens_are_aggregated() {
+        let a = le(vec![(0, "sony", 0.4)]);
+        let b = le(vec![(0, "sony", 0.2)]);
+        let s = summarize(&schema(), &[&a, &b], 2);
+        assert_eq!(s.match_tokens.len(), 1);
+        assert_eq!(s.match_tokens[0].key, "name/sony");
+        assert_eq!(s.match_tokens[0].count, 2);
+        assert!((s.match_tokens[0].mean_weight - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_count_filters_rare_tokens() {
+        let a = le(vec![(0, "sony", 0.4), (0, "rare", 0.9)]);
+        let b = le(vec![(0, "sony", 0.2)]);
+        let s = summarize(&schema(), &[&a, &b], 2);
+        assert!(s.match_tokens.iter().all(|t| t.key != "name/rare"));
+    }
+
+    #[test]
+    fn match_and_non_match_lists_are_ordered() {
+        let a = le(vec![(0, "good", 0.5), (0, "better", 0.9), (0, "bad", -0.3), (0, "worse", -0.8)]);
+        let s = summarize(&schema(), &[&a], 1);
+        assert_eq!(s.match_tokens[0].key, "name/better");
+        assert_eq!(s.non_match_tokens[0].key, "name/worse");
+    }
+
+    #[test]
+    fn empty_input_gives_empty_summary() {
+        let s = summarize(&schema(), &[], 1);
+        assert_eq!(s.n_explanations, 0);
+        assert!(s.match_tokens.is_empty());
+        assert_eq!(s.attribute_importance, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_weight_tokens_in_neither_list() {
+        let a = le(vec![(0, "neutral", 0.0)]);
+        let s = summarize(&schema(), &[&a], 1);
+        assert!(s.match_tokens.is_empty());
+        assert!(s.non_match_tokens.is_empty());
+    }
+}

@@ -1,0 +1,280 @@
+//! Domain schemas and latent-entity generators, one per Magellan dataset
+//! family.
+
+use em_entity::schema::{Attribute, AttributeKind};
+use em_entity::{Entity, Schema};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::vocab::*;
+
+/// Which Magellan dataset family a domain mimics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DomainKind {
+    /// BeerAdvo-RateBeer: beers and breweries.
+    Beer,
+    /// iTunes-Amazon: songs.
+    Music,
+    /// Fodors-Zagats: restaurants.
+    Restaurant,
+    /// DBLP-ACM: bibliographic records.
+    CitationAcm,
+    /// DBLP-GoogleScholar: bibliographic records, noisier venues.
+    CitationScholar,
+    /// Amazon-Google: software/electronics products, short titles.
+    ProductGoogle,
+    /// Walmart-Amazon: electronics products with model numbers.
+    ProductWalmart,
+    /// Abt-Buy: products with long textual descriptions.
+    ProductTextual,
+}
+
+impl DomainKind {
+    /// All domain kinds.
+    pub fn all() -> [DomainKind; 8] {
+        [
+            DomainKind::Beer,
+            DomainKind::Music,
+            DomainKind::Restaurant,
+            DomainKind::CitationAcm,
+            DomainKind::CitationScholar,
+            DomainKind::ProductGoogle,
+            DomainKind::ProductWalmart,
+            DomainKind::ProductTextual,
+        ]
+    }
+}
+
+/// A domain: schema + latent entity generator.
+#[derive(Debug, Clone, Copy)]
+pub struct Domain {
+    /// The dataset family this domain mimics.
+    pub kind: DomainKind,
+}
+
+impl Domain {
+    /// Creates the domain for a kind.
+    pub fn new(kind: DomainKind) -> Self {
+        Domain { kind }
+    }
+
+    /// The domain's schema.
+    pub fn schema(&self) -> Schema {
+        let attr = |name: &str, kind: AttributeKind| Attribute { name: name.into(), kind };
+        match self.kind {
+            DomainKind::Beer => Schema::new(vec![
+                attr("beer_name", AttributeKind::Name),
+                attr("brew_factory_name", AttributeKind::Name),
+                attr("style", AttributeKind::Name),
+                attr("abv", AttributeKind::Numeric),
+            ]),
+            DomainKind::Music => Schema::new(vec![
+                attr("song_name", AttributeKind::Name),
+                attr("artist_name", AttributeKind::Name),
+                attr("album_name", AttributeKind::Name),
+                attr("genre", AttributeKind::Name),
+                attr("price", AttributeKind::Numeric),
+                attr("released", AttributeKind::Code),
+            ]),
+            DomainKind::Restaurant => Schema::new(vec![
+                attr("name", AttributeKind::Name),
+                attr("addr", AttributeKind::Name),
+                attr("city", AttributeKind::Name),
+                attr("phone", AttributeKind::Code),
+                attr("type", AttributeKind::Name),
+            ]),
+            DomainKind::CitationAcm | DomainKind::CitationScholar => Schema::new(vec![
+                attr("title", AttributeKind::Text),
+                attr("authors", AttributeKind::Name),
+                attr("venue", AttributeKind::Name),
+                attr("year", AttributeKind::Code),
+            ]),
+            DomainKind::ProductGoogle => Schema::new(vec![
+                attr("title", AttributeKind::Name),
+                attr("manufacturer", AttributeKind::Name),
+                attr("price", AttributeKind::Numeric),
+            ]),
+            DomainKind::ProductWalmart => Schema::new(vec![
+                attr("title", AttributeKind::Name),
+                attr("category", AttributeKind::Name),
+                attr("brand", AttributeKind::Name),
+                attr("modelno", AttributeKind::Code),
+                attr("price", AttributeKind::Numeric),
+            ]),
+            DomainKind::ProductTextual => Schema::new(vec![
+                attr("name", AttributeKind::Name),
+                attr("description", AttributeKind::Text),
+                attr("price", AttributeKind::Numeric),
+            ]),
+        }
+    }
+
+    /// Generates one latent entity.
+    pub fn generate_entity(&self, rng: &mut StdRng) -> Entity {
+        match self.kind {
+            DomainKind::Beer => {
+                let k = rng.gen_range(2..=3);
+                let name = draw_distinct(rng, BEER_WORDS, k).join(" ");
+                let style = draw_one(rng, BEER_STYLES);
+                let brewery = format!(
+                    "{} {}",
+                    draw_distinct(rng, BEER_WORDS, 1).join(" "),
+                    draw_one(rng, BREWERY_WORDS)
+                );
+                let abv = format!("{:.1}", rng.gen_range(3.5..12.0));
+                Entity::new(vec![format!("{name} {style}"), brewery, style.to_string(), abv])
+            }
+            DomainKind::Music => {
+                let k = rng.gen_range(2..=4);
+                let song = draw_distinct(rng, MUSIC_WORDS, k).join(" ");
+                let artist = format!("{} {}", draw_one(rng, FIRST_NAMES), draw_one(rng, LAST_NAMES));
+                let ka = rng.gen_range(1..=3);
+                let album = draw_distinct(rng, MUSIC_WORDS, ka).join(" ");
+                let genre = draw_one(rng, GENRES).to_string();
+                let price = draw_price(rng, 0.69, 14.99);
+                let year = draw_year(rng, 1985, 2020);
+                Entity::new(vec![song, artist, album, genre, price, year])
+            }
+            DomainKind::Restaurant => {
+                let k = rng.gen_range(2..=3);
+                let name = draw_distinct(rng, RESTAURANT_WORDS, k).join(" ");
+                let addr = format!("{} {}", rng.gen_range(1..999), draw_one(rng, STREETS));
+                let city = draw_one(rng, CITIES).to_string();
+                let phone = draw_phone(rng);
+                let cuisine = draw_one(rng, CUISINES).to_string();
+                Entity::new(vec![name, addr, city, phone, cuisine])
+            }
+            DomainKind::CitationAcm | DomainKind::CitationScholar => {
+                let title_len = if self.kind == DomainKind::CitationScholar {
+                    rng.gen_range(5..=9)
+                } else {
+                    rng.gen_range(4..=7)
+                };
+                let title = draw_distinct(rng, PAPER_WORDS, title_len).join(" ");
+                let n_authors = rng.gen_range(1..=3);
+                let authors = (0..n_authors)
+                    .map(|_| format!("{} {}", draw_one(rng, FIRST_NAMES), draw_one(rng, LAST_NAMES)))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                let venue = draw_one(rng, VENUES).to_string();
+                let year = draw_year(rng, 1995, 2020);
+                Entity::new(vec![title, authors, venue, year])
+            }
+            DomainKind::ProductGoogle => {
+                let brand = draw_one(rng, BRANDS);
+                let ka = rng.gen_range(1..=2);
+                let adjectives = draw_distinct(rng, PRODUCT_ADJECTIVES, ka).join(" ");
+                let title = format!("{} {} {}", brand, adjectives, draw_one(rng, PRODUCT_NOUNS));
+                let price = draw_price(rng, 5.0, 900.0);
+                Entity::new(vec![title, brand.to_string(), price])
+            }
+            DomainKind::ProductWalmart => {
+                let brand = draw_one(rng, BRANDS);
+                let code = draw_code(rng);
+                let ka = rng.gen_range(1..=2);
+                let adjectives = draw_distinct(rng, PRODUCT_ADJECTIVES, ka).join(" ");
+                let title =
+                    format!("{} {} {} {}", brand, adjectives, draw_one(rng, PRODUCT_NOUNS), code);
+                let category = draw_one(rng, CATEGORIES).to_string();
+                let price = draw_price(rng, 5.0, 1500.0);
+                Entity::new(vec![title, category, brand.to_string(), code, price])
+            }
+            DomainKind::ProductTextual => {
+                let brand = draw_one(rng, BRANDS);
+                let noun = draw_one(rng, PRODUCT_NOUNS);
+                let name = format!(
+                    "{} {} {}",
+                    brand,
+                    draw_distinct(rng, PRODUCT_ADJECTIVES, 1).join(" "),
+                    noun
+                );
+                let n_desc = rng.gen_range(10..=18);
+                let mut desc_words = vec![brand, noun];
+                desc_words.extend(draw_distinct(rng, DESCRIPTION_WORDS, n_desc));
+                desc_words.extend(draw_distinct(rng, PRODUCT_ADJECTIVES, 2));
+                let description = desc_words.join(" ");
+                let price = draw_price(rng, 10.0, 1200.0);
+                Entity::new(vec![name, description, price])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_domain_entity_conforms_to_its_schema() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for kind in DomainKind::all() {
+            let d = Domain::new(kind);
+            let s = d.schema();
+            for _ in 0..20 {
+                let e = d.generate_entity(&mut rng);
+                assert!(e.conforms_to(&s), "{kind:?}");
+                assert!(e.token_count() > 0, "{kind:?} generated an empty entity");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for kind in DomainKind::all() {
+            let d = Domain::new(kind);
+            let a = d.generate_entity(&mut StdRng::seed_from_u64(9));
+            let b = d.generate_entity(&mut StdRng::seed_from_u64(9));
+            assert_eq!(a, b, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn different_draws_differ() {
+        let d = Domain::new(DomainKind::Music);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = d.generate_entity(&mut rng);
+        let b = d.generate_entity(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn textual_domain_has_long_descriptions() {
+        let d = Domain::new(DomainKind::ProductTextual);
+        let mut rng = StdRng::seed_from_u64(4);
+        let e = d.generate_entity(&mut rng);
+        let desc_tokens = e.value(1).split_whitespace().count();
+        assert!(desc_tokens >= 12, "{desc_tokens}");
+    }
+
+    #[test]
+    fn numeric_attributes_parse_as_numbers() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = Domain::new(DomainKind::Beer);
+        let e = d.generate_entity(&mut rng);
+        assert!(e.value(3).parse::<f64>().is_ok());
+    }
+
+    #[test]
+    fn scholar_titles_are_longer_on_average_than_acm() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let acm = Domain::new(DomainKind::CitationAcm);
+        let sch = Domain::new(DomainKind::CitationScholar);
+        let avg = |d: &Domain, rng: &mut StdRng| -> f64 {
+            (0..100)
+                .map(|_| d.generate_entity(rng).value(0).split_whitespace().count())
+                .sum::<usize>() as f64
+                / 100.0
+        };
+        assert!(avg(&sch, &mut rng) > avg(&acm, &mut rng));
+    }
+
+    #[test]
+    fn walmart_product_title_contains_model_code() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = Domain::new(DomainKind::ProductWalmart);
+        let e = d.generate_entity(&mut rng);
+        let code = e.value(3);
+        assert!(e.value(0).contains(code));
+    }
+}

@@ -1,0 +1,33 @@
+//! Synthetic reproduction of the Magellan EM benchmark (paper Table 1).
+//!
+//! The paper evaluates on twelve datasets from the Magellan benchmark
+//! (Structured, Textual, and Dirty variants of seven dataset families).
+//! Those datasets are not redistributable here, so this crate generates
+//! *synthetic equivalents* that preserve the three properties the paper's
+//! evaluation actually depends on:
+//!
+//! 1. **paired schemas** — each record holds two entities over the same
+//!    attributes, with domain-appropriate attribute kinds;
+//! 2. **class imbalance** — the exact sizes and match percentages of
+//!    Table 1;
+//! 3. **token-overlap structure** — matching pairs are noisy variants of a
+//!    shared latent entity (token drops, reorderings, typos,
+//!    abbreviations, numeric jitter), while non-matching pairs are
+//!    different entities from the same domain vocabulary (so they still
+//!    share common words, making the task non-trivial).
+//!
+//! The *Dirty* variants additionally misplace attribute values into the
+//!    wrong column, as in the Magellan dirty datasets; the *Textual*
+//!    variant (Abt-Buy) has long free-text descriptions.
+//!
+//! Everything is seeded and deterministic.
+
+pub mod benchmark;
+pub mod corruption;
+pub mod domains;
+pub mod pairgen;
+pub mod vocab;
+
+pub use benchmark::{DatasetId, DatasetSpec, MagellanBenchmark};
+pub use domains::{Domain, DomainKind};
+pub use pairgen::{GeneratorConfig, PairGenerator};

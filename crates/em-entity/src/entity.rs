@@ -1,0 +1,114 @@
+//! A single entity: one attribute value per schema attribute.
+
+use crate::schema::Schema;
+
+/// One entity's attribute values, positionally aligned with a [`Schema`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Entity {
+    values: Vec<String>,
+}
+
+impl Entity {
+    /// Builds an entity from attribute values.
+    pub fn new<S: Into<String>>(values: Vec<S>) -> Self {
+        Entity { values: values.into_iter().map(Into::into).collect() }
+    }
+
+    /// An entity with every attribute empty.
+    pub fn empty(n_attributes: usize) -> Self {
+        Entity { values: vec![String::new(); n_attributes] }
+    }
+
+    /// Number of attribute values (must equal the schema length to be valid
+    /// for that schema).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the entity has no attributes at all.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value of attribute `idx`.
+    pub fn value(&self, idx: usize) -> &str {
+        &self.values[idx]
+    }
+
+    /// Replaces the value of attribute `idx`.
+    pub fn set_value(&mut self, idx: usize, v: impl Into<String>) {
+        self.values[idx] = v.into();
+    }
+
+    /// Iterates over the values.
+    pub fn values(&self) -> impl Iterator<Item = &str> {
+        self.values.iter().map(String::as_str)
+    }
+
+    /// Checks positional compatibility with a schema.
+    pub fn conforms_to(&self, schema: &Schema) -> bool {
+        self.values.len() == schema.len()
+    }
+
+    /// Total number of whitespace-separated tokens across all attributes.
+    pub fn token_count(&self) -> usize {
+        self.values.iter().map(|v| v.split_whitespace().count()).sum()
+    }
+
+    /// Renders as `attr1=..., attr2=...` for debugging / examples.
+    pub fn display_with(&self, schema: &Schema) -> String {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| format!("{}={:?}", schema.name(i), v))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_access() {
+        let e = Entity::new(vec!["sony camera", "849.99"]);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.value(0), "sony camera");
+        assert_eq!(e.value(1), "849.99");
+    }
+
+    #[test]
+    fn empty_constructor() {
+        let e = Entity::empty(3);
+        assert_eq!(e.len(), 3);
+        assert!(e.values().all(|v| v.is_empty()));
+    }
+
+    #[test]
+    fn set_value_replaces() {
+        let mut e = Entity::new(vec!["a"]);
+        e.set_value(0, "b");
+        assert_eq!(e.value(0), "b");
+    }
+
+    #[test]
+    fn conforms_to_checks_length() {
+        let s = Schema::from_names(vec!["x", "y"]);
+        assert!(Entity::new(vec!["1", "2"]).conforms_to(&s));
+        assert!(!Entity::new(vec!["1"]).conforms_to(&s));
+    }
+
+    #[test]
+    fn token_count_sums_whitespace_tokens() {
+        let e = Entity::new(vec!["sony digital camera", "", "849.99"]);
+        assert_eq!(e.token_count(), 4);
+    }
+
+    #[test]
+    fn display_with_renders_names() {
+        let s = Schema::from_names(vec!["name"]);
+        let e = Entity::new(vec!["sony"]);
+        assert_eq!(e.display_with(&s), "name=\"sony\"");
+    }
+}

@@ -1,0 +1,103 @@
+//! The black-box model interface every explainer consumes.
+
+use crate::pair::EntityPair;
+use crate::schema::Schema;
+
+/// An entity-matching model: anything that maps a record (pair of entities)
+/// to a match probability.
+///
+/// Explainers treat implementations as black boxes — exactly the post-hoc
+/// setting of the paper. The batch method exists because perturbation-based
+/// explainers score hundreds of synthetic records per explanation.
+pub trait MatchModel {
+    /// Probability in `[0, 1]` that the pair is a match.
+    fn predict_proba(&self, schema: &Schema, pair: &EntityPair) -> f64;
+
+    /// Hard decision at the given threshold.
+    fn predict_with_threshold(&self, schema: &Schema, pair: &EntityPair, threshold: f64) -> bool {
+        self.predict_proba(schema, pair) >= threshold
+    }
+
+    /// Hard decision at the conventional 0.5 threshold.
+    fn predict(&self, schema: &Schema, pair: &EntityPair) -> bool {
+        self.predict_with_threshold(schema, pair, 0.5)
+    }
+
+    /// Probabilities for a batch of records.
+    fn predict_proba_batch(&self, schema: &Schema, pairs: &[EntityPair]) -> Vec<f64> {
+        pairs.iter().map(|p| self.predict_proba(schema, p)).collect()
+    }
+}
+
+/// Blanket implementation so `&M`, `Box<M>`, etc. are also models.
+impl<M: MatchModel + ?Sized> MatchModel for &M {
+    fn predict_proba(&self, schema: &Schema, pair: &EntityPair) -> f64 {
+        (**self).predict_proba(schema, pair)
+    }
+}
+
+impl<M: MatchModel + ?Sized> MatchModel for Box<M> {
+    fn predict_proba(&self, schema: &Schema, pair: &EntityPair) -> f64 {
+        (**self).predict_proba(schema, pair)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::Entity;
+
+    /// Toy model: probability = fraction of attributes with equal values.
+    struct EqualityModel;
+
+    impl MatchModel for EqualityModel {
+        fn predict_proba(&self, schema: &Schema, pair: &EntityPair) -> f64 {
+            if schema.is_empty() {
+                return 0.0;
+            }
+            let same = (0..schema.len())
+                .filter(|&i| pair.left.value(i) == pair.right.value(i))
+                .count();
+            same as f64 / schema.len() as f64
+        }
+    }
+
+    fn setup() -> (Schema, EntityPair) {
+        let s = Schema::from_names(vec!["a", "b"]);
+        let p = EntityPair::new(Entity::new(vec!["x", "y"]), Entity::new(vec!["x", "z"]));
+        (s, p)
+    }
+
+    #[test]
+    fn default_predict_uses_half_threshold() {
+        let (s, p) = setup();
+        assert!(EqualityModel.predict(&s, &p)); // proba = 0.5 >= 0.5
+    }
+
+    #[test]
+    fn threshold_is_respected() {
+        let (s, p) = setup();
+        assert!(!EqualityModel.predict_with_threshold(&s, &p, 0.6));
+        assert!(EqualityModel.predict_with_threshold(&s, &p, 0.4));
+    }
+
+    #[test]
+    fn batch_matches_single_calls() {
+        let (s, p) = setup();
+        let p2 = EntityPair::new(Entity::new(vec!["x", "y"]), Entity::new(vec!["x", "y"]));
+        let batch = EqualityModel.predict_proba_batch(&s, &[p.clone(), p2.clone()]);
+        assert_eq!(batch, vec![
+            EqualityModel.predict_proba(&s, &p),
+            EqualityModel.predict_proba(&s, &p2)
+        ]);
+    }
+
+    #[test]
+    fn references_and_boxes_are_models() {
+        let (s, p) = setup();
+        let by_ref: &dyn MatchModel = &EqualityModel;
+        let boxed: Box<dyn MatchModel> = Box::new(EqualityModel);
+        assert_eq!(by_ref.predict_proba(&s, &p), 0.5);
+        assert_eq!(boxed.predict_proba(&s, &p), 0.5);
+    }
+}

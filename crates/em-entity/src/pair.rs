@@ -1,0 +1,176 @@
+//! Entity pairs — the records an EM model classifies.
+
+use crate::entity::Entity;
+use crate::schema::Schema;
+
+/// Which entity of a pair is being referenced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntitySide {
+    /// The left entity (first dataset).
+    Left,
+    /// The right entity (second dataset).
+    Right,
+}
+
+impl EntitySide {
+    /// The column-name prefix for this side (`left` / `right`).
+    pub fn prefix(self) -> &'static str {
+        match self {
+            EntitySide::Left => "left",
+            EntitySide::Right => "right",
+        }
+    }
+
+    /// The opposite side.
+    pub fn other(self) -> EntitySide {
+        match self {
+            EntitySide::Left => EntitySide::Right,
+            EntitySide::Right => EntitySide::Left,
+        }
+    }
+
+    /// Both sides, in `[Left, Right]` order.
+    pub fn both() -> [EntitySide; 2] {
+        [EntitySide::Left, EntitySide::Right]
+    }
+}
+
+impl std::fmt::Display for EntitySide {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.prefix())
+    }
+}
+
+/// A pair of entities sharing one schema — the unit of EM classification.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EntityPair {
+    /// Left entity.
+    pub left: Entity,
+    /// Right entity.
+    pub right: Entity,
+}
+
+impl EntityPair {
+    /// Builds a pair.
+    pub fn new(left: Entity, right: Entity) -> Self {
+        EntityPair { left, right }
+    }
+
+    /// The entity on `side`.
+    pub fn entity(&self, side: EntitySide) -> &Entity {
+        match side {
+            EntitySide::Left => &self.left,
+            EntitySide::Right => &self.right,
+        }
+    }
+
+    /// Mutable access to the entity on `side`.
+    pub fn entity_mut(&mut self, side: EntitySide) -> &mut Entity {
+        match side {
+            EntitySide::Left => &mut self.left,
+            EntitySide::Right => &mut self.right,
+        }
+    }
+
+    /// Replaces the entity on `side`, returning the new pair.
+    pub fn with_entity(&self, side: EntitySide, entity: Entity) -> EntityPair {
+        let mut p = self.clone();
+        *p.entity_mut(side) = entity;
+        p
+    }
+
+    /// Checks both entities conform to the schema.
+    pub fn conforms_to(&self, schema: &Schema) -> bool {
+        self.left.conforms_to(schema) && self.right.conforms_to(schema)
+    }
+
+    /// Renders the record as the paper's Figure 1 table layout, one
+    /// `left_x | right_x` column pair per attribute.
+    pub fn display_with(&self, schema: &Schema) -> String {
+        let mut out = String::new();
+        for i in 0..schema.len() {
+            out.push_str(&format!(
+                "{}: {:?} | {}: {:?}\n",
+                schema.side_column(EntitySide::Left, i),
+                self.left.value(i),
+                schema.side_column(EntitySide::Right, i),
+                self.right.value(i),
+            ));
+        }
+        out
+    }
+}
+
+/// A pair plus its ground-truth match label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledPair {
+    /// The record.
+    pub pair: EntityPair,
+    /// `true` = the two entities refer to the same real-world entity.
+    pub label: bool,
+}
+
+impl LabeledPair {
+    /// Builds a labeled pair.
+    pub fn new(pair: EntityPair, label: bool) -> Self {
+        LabeledPair { pair, label }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> EntityPair {
+        EntityPair::new(Entity::new(vec!["sony camera"]), Entity::new(vec!["nikon case"]))
+    }
+
+    #[test]
+    fn side_prefix_and_other() {
+        assert_eq!(EntitySide::Left.prefix(), "left");
+        assert_eq!(EntitySide::Right.other(), EntitySide::Left);
+        assert_eq!(EntitySide::both(), [EntitySide::Left, EntitySide::Right]);
+    }
+
+    #[test]
+    fn entity_accessors() {
+        let p = pair();
+        assert_eq!(p.entity(EntitySide::Left).value(0), "sony camera");
+        assert_eq!(p.entity(EntitySide::Right).value(0), "nikon case");
+    }
+
+    #[test]
+    fn with_entity_replaces_one_side() {
+        let p = pair().with_entity(EntitySide::Right, Entity::new(vec!["sony camera"]));
+        assert_eq!(p.left, p.right);
+    }
+
+    #[test]
+    fn entity_mut_mutates() {
+        let mut p = pair();
+        p.entity_mut(EntitySide::Left).set_value(0, "x");
+        assert_eq!(p.left.value(0), "x");
+    }
+
+    #[test]
+    fn conforms_checks_both_sides() {
+        let s = Schema::from_names(vec!["name"]);
+        assert!(pair().conforms_to(&s));
+        let bad = EntityPair::new(Entity::new(vec!["a", "b"]), Entity::new(vec!["a"]));
+        assert!(!bad.conforms_to(&s));
+    }
+
+    #[test]
+    fn display_contains_side_columns() {
+        let s = Schema::from_names(vec!["name"]);
+        let d = pair().display_with(&s);
+        assert!(d.contains("left_name"));
+        assert!(d.contains("right_name"));
+    }
+
+    #[test]
+    fn labeled_pair_holds_label() {
+        let lp = LabeledPair::new(pair(), true);
+        assert!(lp.label);
+    }
+}

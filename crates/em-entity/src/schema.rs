@@ -1,0 +1,145 @@
+//! The shared logical schema of an EM dataset.
+
+use std::sync::Arc;
+
+/// The type hint of an attribute, used by matchers to pick an appropriate
+/// similarity measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttributeKind {
+    /// Short categorical / name-like strings ("sony digital camera").
+    Name,
+    /// Long free text (product descriptions, song metadata blobs).
+    Text,
+    /// Numeric values possibly wrapped in text ("$849.99").
+    Numeric,
+    /// Short codes / identifiers ("dslra200w", years).
+    Code,
+}
+
+/// One logical attribute: its name and kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Logical name without a `left_` / `right_` prefix.
+    pub name: String,
+    /// Type hint for feature extraction.
+    pub kind: AttributeKind,
+}
+
+/// The logical attribute list shared by both entities of every record.
+///
+/// `Schema` is cheap to clone (the attribute list is behind an `Arc`) so
+/// datasets, pairs, and explainers can all hold one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attributes: Arc<Vec<Attribute>>,
+}
+
+impl Schema {
+    /// Builds a schema from `(name, kind)` pairs.
+    ///
+    /// # Panics
+    /// Panics if two attributes share a name — prefixed tokens would become
+    /// ambiguous.
+    pub fn new(attributes: Vec<Attribute>) -> Self {
+        for (i, a) in attributes.iter().enumerate() {
+            for b in &attributes[i + 1..] {
+                assert_ne!(a.name, b.name, "duplicate attribute name {:?}", a.name);
+            }
+        }
+        Schema { attributes: Arc::new(attributes) }
+    }
+
+    /// Convenience constructor from names; every attribute gets kind
+    /// [`AttributeKind::Name`].
+    pub fn from_names<S: Into<String>>(names: Vec<S>) -> Self {
+        Schema::new(
+            names
+                .into_iter()
+                .map(|n| Attribute { name: n.into(), kind: AttributeKind::Name })
+                .collect(),
+        )
+    }
+
+    /// Number of logical attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Whether the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// The attribute at `idx`.
+    pub fn attribute(&self, idx: usize) -> &Attribute {
+        &self.attributes[idx]
+    }
+
+    /// The name of the attribute at `idx`.
+    pub fn name(&self, idx: usize) -> &str {
+        &self.attributes[idx].name
+    }
+
+    /// Finds the index of an attribute by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    /// Iterates over the attributes.
+    pub fn iter(&self) -> impl Iterator<Item = &Attribute> {
+        self.attributes.iter()
+    }
+
+    /// The serialized column name for one side, e.g. `left_name`.
+    pub fn side_column(&self, side: crate::pair::EntitySide, idx: usize) -> String {
+        format!("{}_{}", side.prefix(), self.name(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pair::EntitySide;
+
+    #[test]
+    fn from_names_builds_name_attributes() {
+        let s = Schema::from_names(vec!["name", "description", "price"]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.name(0), "name");
+        assert_eq!(s.attribute(2).kind, AttributeKind::Name);
+    }
+
+    #[test]
+    fn index_of_finds_attributes() {
+        let s = Schema::from_names(vec!["a", "b"]);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("zz"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute name")]
+    fn duplicate_names_panic() {
+        Schema::from_names(vec!["a", "a"]);
+    }
+
+    #[test]
+    fn side_column_formats_prefix() {
+        let s = Schema::from_names(vec!["name"]);
+        assert_eq!(s.side_column(EntitySide::Left, 0), "left_name");
+        assert_eq!(s.side_column(EntitySide::Right, 0), "right_name");
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let s = Schema::from_names(vec!["a", "b", "c"]);
+        let t = s.clone();
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::new(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! The prefix tokenizer of the paper (Section 3.1, *Landmark generation*).
+//!
+//! > "A token is generated for each space-separated term in the attribute
+//! > values. A prefix is introduced to each token to indicate the attribute
+//! > where the original value is located in the entity schema. The prefix
+//! > enumerates the tokens, to manage multiple occurrences of the same word
+//! > in an attribute value."
+//!
+//! A [`Token`] therefore carries `(attribute index, occurrence index, text)`
+//! and can be rendered to / parsed from the serialized prefixed form
+//! `attr__idx__text`. Detokenization ([`detokenize`]) inverts tokenization:
+//! it groups tokens by attribute, orders them by occurrence index, and joins
+//! them with spaces — this is what the paper's *Pair reconstruction*
+//! component does before handing records back to the EM model.
+
+use crate::entity::Entity;
+use crate::schema::Schema;
+
+/// Separator between the prefix components of a serialized token.
+pub const PREFIX_SEPARATOR: &str = "__";
+
+/// A tokenized term: which attribute it came from, its position within that
+/// attribute's value, and the term itself.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Token {
+    /// Index of the attribute in the schema.
+    pub attribute: usize,
+    /// Position of this term within the attribute value (0-based). Two
+    /// occurrences of the same word get different indices.
+    pub occurrence: usize,
+    /// The space-separated term.
+    pub text: String,
+}
+
+impl Token {
+    /// Builds a token.
+    pub fn new(attribute: usize, occurrence: usize, text: impl Into<String>) -> Self {
+        Token { attribute, occurrence, text: text.into() }
+    }
+
+    /// Serializes to the prefixed form `attrname__occurrence__text`.
+    pub fn prefixed(&self, schema: &Schema) -> String {
+        format!(
+            "{}{sep}{}{sep}{}",
+            schema.name(self.attribute),
+            self.occurrence,
+            self.text,
+            sep = PREFIX_SEPARATOR
+        )
+    }
+
+    /// Parses the prefixed form produced by [`Token::prefixed`].
+    ///
+    /// Returns `None` if the string is malformed or names an unknown
+    /// attribute. The text component may itself contain `__`.
+    pub fn parse_prefixed(s: &str, schema: &Schema) -> Option<Token> {
+        let (attr_name, rest) = s.split_once(PREFIX_SEPARATOR)?;
+        let (occ, text) = rest.split_once(PREFIX_SEPARATOR)?;
+        let attribute = schema.index_of(attr_name)?;
+        let occurrence = occ.parse().ok()?;
+        Some(Token { attribute, occurrence, text: text.to_string() })
+    }
+}
+
+/// Tokenizes one entity: every attribute value is split on whitespace and
+/// each term becomes a [`Token`] carrying its attribute and position.
+///
+/// ```
+/// use em_entity::{tokenize_entity, detokenize, Entity};
+///
+/// let entity = Entity::new(vec!["sony digital camera", "849.99"]);
+/// let tokens = tokenize_entity(&entity);
+/// assert_eq!(tokens.len(), 4);
+/// assert_eq!(tokens[3].attribute, 1);
+/// // Detokenization inverts tokenization.
+/// assert_eq!(detokenize(&tokens, 2), entity);
+/// ```
+pub fn tokenize_entity(entity: &Entity) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (attr, value) in entity.values().enumerate() {
+        for (i, term) in value.split_whitespace().enumerate() {
+            out.push(Token::new(attr, i, term));
+        }
+    }
+    out
+}
+
+/// Tokenizes both entities of a pair, returning `(left_tokens, right_tokens)`.
+pub fn tokenize_pair(pair: &crate::pair::EntityPair) -> (Vec<Token>, Vec<Token>) {
+    (tokenize_entity(&pair.left), tokenize_entity(&pair.right))
+}
+
+/// Reconstructs an entity from a token subset: groups by attribute, orders
+/// by occurrence index (ties broken by input order), joins with spaces.
+///
+/// This is the inverse of [`tokenize_entity`] when all tokens are present,
+/// and produces the perturbed entity when some were dropped.
+pub fn detokenize(tokens: &[Token], n_attributes: usize) -> Entity {
+    let mut per_attr: Vec<Vec<(usize, usize, &str)>> = vec![Vec::new(); n_attributes];
+    for (input_order, t) in tokens.iter().enumerate() {
+        assert!(t.attribute < n_attributes, "token attribute {} out of range", t.attribute);
+        per_attr[t.attribute].push((t.occurrence, input_order, &t.text));
+    }
+    let mut entity = Entity::empty(n_attributes);
+    for (attr, mut terms) in per_attr.into_iter().enumerate() {
+        terms.sort_by_key(|&(occ, ord, _)| (occ, ord));
+        let value = terms.iter().map(|&(_, _, s)| s).collect::<Vec<_>>().join(" ");
+        entity.set_value(attr, value);
+    }
+    entity
+}
+
+/// Reassigns occurrence indices so that, per attribute, tokens are numbered
+/// `0..k` in their current list order. Used after token injection, where
+/// tokens copied from another entity would otherwise collide with the
+/// original positions.
+pub fn renumber(tokens: &mut [Token]) {
+    let max_attr = tokens.iter().map(|t| t.attribute).max().map_or(0, |m| m + 1);
+    let mut next = vec![0usize; max_attr];
+    for t in tokens.iter_mut() {
+        t.occurrence = next[t.attribute];
+        next[t.attribute] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pair::EntityPair;
+
+    fn schema() -> Schema {
+        Schema::from_names(vec!["name", "description", "price"])
+    }
+
+    fn entity() -> Entity {
+        Entity::new(vec!["sony digital camera", "camera with lens kit", "849.99"])
+    }
+
+    #[test]
+    fn tokenize_assigns_attribute_and_position() {
+        let tokens = tokenize_entity(&entity());
+        assert_eq!(tokens.len(), 3 + 4 + 1);
+        assert_eq!(tokens[0], Token::new(0, 0, "sony"));
+        assert_eq!(tokens[2], Token::new(0, 2, "camera"));
+        assert_eq!(tokens[3], Token::new(1, 0, "camera"));
+        assert_eq!(tokens[7], Token::new(2, 0, "849.99"));
+    }
+
+    #[test]
+    fn duplicate_words_get_distinct_occurrences() {
+        let e = Entity::new(vec!["la la land"]);
+        let tokens = tokenize_entity(&e);
+        assert_eq!(tokens[0], Token::new(0, 0, "la"));
+        assert_eq!(tokens[1], Token::new(0, 1, "la"));
+        assert_ne!(tokens[0], tokens[1]);
+    }
+
+    #[test]
+    fn empty_attribute_produces_no_tokens() {
+        let e = Entity::new(vec!["", "a b"]);
+        let tokens = tokenize_entity(&e);
+        assert_eq!(tokens.len(), 2);
+        assert!(tokens.iter().all(|t| t.attribute == 1));
+    }
+
+    #[test]
+    fn prefixed_roundtrip() {
+        let s = schema();
+        for t in tokenize_entity(&entity()) {
+            let ser = t.prefixed(&s);
+            let back = Token::parse_prefixed(&ser, &s).unwrap();
+            assert_eq!(back, t);
+        }
+    }
+
+    #[test]
+    fn prefixed_format_matches_paper_style() {
+        let s = schema();
+        let t = Token::new(0, 1, "digital");
+        assert_eq!(t.prefixed(&s), "name__1__digital");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        let s = schema();
+        assert!(Token::parse_prefixed("junk", &s).is_none());
+        assert!(Token::parse_prefixed("name__x__tok", &s).is_none());
+        assert!(Token::parse_prefixed("unknown__0__tok", &s).is_none());
+    }
+
+    #[test]
+    fn parse_preserves_double_underscore_in_text() {
+        let s = schema();
+        let t = Token::new(1, 0, "weird__text");
+        let back = Token::parse_prefixed(&t.prefixed(&s), &s).unwrap();
+        assert_eq!(back.text, "weird__text");
+    }
+
+    #[test]
+    fn detokenize_inverts_tokenize() {
+        let e = entity();
+        let tokens = tokenize_entity(&e);
+        assert_eq!(detokenize(&tokens, 3), e);
+    }
+
+    #[test]
+    fn detokenize_with_dropped_tokens() {
+        let e = Entity::new(vec!["sony digital camera"]);
+        let tokens: Vec<Token> = tokenize_entity(&e)
+            .into_iter()
+            .filter(|t| t.text != "digital")
+            .collect();
+        assert_eq!(detokenize(&tokens, 1), Entity::new(vec!["sony camera"]));
+    }
+
+    #[test]
+    fn detokenize_orders_by_occurrence_not_input_order() {
+        let tokens = vec![Token::new(0, 2, "c"), Token::new(0, 0, "a"), Token::new(0, 1, "b")];
+        assert_eq!(detokenize(&tokens, 1), Entity::new(vec!["a b c"]));
+    }
+
+    #[test]
+    fn detokenize_empty_tokens_gives_empty_entity() {
+        assert_eq!(detokenize(&[], 2), Entity::empty(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn detokenize_rejects_out_of_range_attribute() {
+        detokenize(&[Token::new(5, 0, "x")], 2);
+    }
+
+    #[test]
+    fn tokenize_pair_covers_both_sides() {
+        let p = EntityPair::new(Entity::new(vec!["a b"]), Entity::new(vec!["c"]));
+        let (l, r) = tokenize_pair(&p);
+        assert_eq!(l.len(), 2);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn renumber_reassigns_in_order() {
+        let mut tokens = vec![
+            Token::new(0, 0, "a"),
+            Token::new(0, 0, "b"), // collision from injection
+            Token::new(1, 5, "c"),
+            Token::new(0, 1, "d"),
+        ];
+        renumber(&mut tokens);
+        assert_eq!(tokens[0].occurrence, 0);
+        assert_eq!(tokens[1].occurrence, 1);
+        assert_eq!(tokens[2].occurrence, 0);
+        assert_eq!(tokens[3].occurrence, 2);
+    }
+
+    #[test]
+    fn renumber_then_detokenize_keeps_list_order() {
+        let mut tokens = vec![
+            Token::new(0, 0, "sony"),
+            Token::new(0, 0, "nikon"), // injected duplicate position
+        ];
+        renumber(&mut tokens);
+        assert_eq!(detokenize(&tokens, 1), Entity::new(vec!["sony nikon"]));
+    }
+}

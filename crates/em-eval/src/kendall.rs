@@ -1,0 +1,144 @@
+//! Weighted Kendall tau rank correlation.
+//!
+//! Table 3 of the paper compares the attribute ranking induced by the EM
+//! model's coefficients with the ranking induced by the surrogate's
+//! per-attribute importance, using a *weighted* Kendall measure: swaps
+//! among the top-ranked attributes cost more than swaps in the tail.
+//!
+//! We implement the additive hyperbolic variant (Vigna 2015, the default
+//! of `scipy.stats.weightedtau`): a discordance between items `i` and `j`
+//! is weighted by `w(rᵢ) + w(rⱼ)` with `w(r) = 1 / (r + 1)`, where `r` is
+//! the item's rank in the **reference** scoring `a`.
+
+/// Ranks of the items by decreasing score (rank 0 = largest). Ties get the
+/// order of their first appearance, which is deterministic.
+fn ranks_desc(scores: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&i, &j| scores[j].partial_cmp(&scores[i]).expect("finite scores"));
+    let mut ranks = vec![0usize; scores.len()];
+    for (rank, &item) in idx.iter().enumerate() {
+        ranks[item] = rank;
+    }
+    ranks
+}
+
+/// Weighted Kendall tau between scorings `a` (reference, e.g. the EM
+/// model's attribute weights) and `b` (e.g. surrogate importance).
+///
+/// Returns a value in `[-1, 1]`; `1` when the rankings agree on every
+/// pair, `-1` when they disagree on every pair. Tied pairs (in either
+/// scoring) contribute zero to numerator and denominator. Returns `1.0`
+/// for inputs with fewer than two items and `0.0` if every pair is tied.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+///
+/// ```
+/// use em_eval::weighted_kendall_tau;
+///
+/// // Same ranking, different scales: perfect correlation.
+/// assert_eq!(weighted_kendall_tau(&[3.0, 2.0, 1.0], &[30.0, 20.0, 10.0]), 1.0);
+/// // Reversed ranking: perfect anti-correlation.
+/// assert_eq!(weighted_kendall_tau(&[3.0, 2.0, 1.0], &[1.0, 2.0, 3.0]), -1.0);
+/// ```
+pub fn weighted_kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "scorings must align");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let ra = ranks_desc(a);
+    let w = |r: usize| 1.0 / (r as f64 + 1.0);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            if da == 0.0 || db == 0.0 {
+                continue;
+            }
+            let weight = w(ra[i]) + w(ra[j]);
+            den += weight;
+            if (da > 0.0) == (db > 0.0) {
+                num += weight;
+            } else {
+                num -= weight;
+            }
+        }
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_rankings_give_one() {
+        let a = [0.9, 0.5, 0.3, 0.1];
+        assert_eq!(weighted_kendall_tau(&a, &a), 1.0);
+        let b = [9.0, 5.0, 3.0, 1.0]; // same ranking, different scale
+        assert_eq!(weighted_kendall_tau(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn reversed_rankings_give_minus_one() {
+        let a = [4.0, 3.0, 2.0, 1.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(weighted_kendall_tau(&a, &b), -1.0);
+    }
+
+    #[test]
+    fn single_item_and_empty_are_one() {
+        assert_eq!(weighted_kendall_tau(&[1.0], &[2.0]), 1.0);
+        assert_eq!(weighted_kendall_tau(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn all_tied_gives_zero() {
+        assert_eq!(weighted_kendall_tau(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn top_rank_swap_costs_more_than_tail_swap() {
+        let a = [4.0, 3.0, 2.0, 1.0];
+        // Swap the top two items.
+        let top_swapped = [3.0, 4.0, 2.0, 1.0];
+        // Swap the bottom two items.
+        let tail_swapped = [4.0, 3.0, 1.0, 2.0];
+        let t_top = weighted_kendall_tau(&a, &top_swapped);
+        let t_tail = weighted_kendall_tau(&a, &tail_swapped);
+        assert!(t_top < t_tail, "{t_top} vs {t_tail}");
+        assert!(t_top < 1.0 && t_tail < 1.0);
+    }
+
+    #[test]
+    fn symmetry_of_sign() {
+        let a = [0.5, 0.2, 0.9];
+        let b = [0.1, 0.8, 0.4];
+        let t1 = weighted_kendall_tau(&a, &b);
+        // Negating b reverses its ranking, flipping the sign exactly.
+        let neg_b: Vec<f64> = b.iter().map(|x| -x).collect();
+        let t2 = weighted_kendall_tau(&a, &neg_b);
+        assert!((t1 + t2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        let a = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6];
+        let b = [2.0, 7.0, 1.0, 8.0, 2.0, 8.0];
+        let t = weighted_kendall_tau(&a, &b);
+        assert!((-1.0..=1.0).contains(&t));
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn length_mismatch_panics() {
+        weighted_kendall_tau(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Token removal: rebuilding a record with a subset of its tokens deleted.
+
+use em_entity::{detokenize, tokenize_entity, EntityPair, EntitySide, Schema, Token};
+
+/// A token of the record identified by side + attribute + occurrence.
+pub type SidedToken = (EntitySide, Token);
+
+/// Removes the given tokens from the record, returning the modified pair.
+/// Tokens are matched by `(side, attribute, occurrence)`; texts are
+/// ignored so renumbered copies cannot alias the wrong position.
+pub fn remove_tokens(pair: &EntityPair, schema: &Schema, removals: &[&SidedToken]) -> EntityPair {
+    let mut out = pair.clone();
+    for side in EntitySide::both() {
+        let to_remove: Vec<&Token> = removals
+            .iter()
+            .filter(|(s, _)| *s == side)
+            .map(|(_, t)| t)
+            .collect();
+        if to_remove.is_empty() {
+            continue;
+        }
+        let kept: Vec<Token> = tokenize_entity(pair.entity(side))
+            .into_iter()
+            .filter(|t| {
+                !to_remove
+                    .iter()
+                    .any(|r| r.attribute == t.attribute && r.occurrence == t.occurrence)
+            })
+            .collect();
+        *out.entity_mut(side) = detokenize(&kept, schema.len());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_entity::Entity;
+
+    fn pair() -> EntityPair {
+        EntityPair::new(
+            Entity::new(vec!["sony digital camera", "849.99"]),
+            Entity::new(vec!["nikon camera case", "7.99"]),
+        )
+    }
+
+    fn schema() -> Schema {
+        Schema::from_names(vec!["name", "price"])
+    }
+
+    #[test]
+    fn removes_from_the_correct_side_and_position() {
+        let r = (EntitySide::Left, Token::new(0, 1, "digital"));
+        let out = remove_tokens(&pair(), &schema(), &[&r]);
+        assert_eq!(out.left.value(0), "sony camera");
+        assert_eq!(out.right, pair().right);
+    }
+
+    #[test]
+    fn removal_matches_position_not_text() {
+        // Token at (right, attr 0, occ 1) is "camera"; passing a different
+        // text with the same coordinates must still remove position 1.
+        let r = (EntitySide::Right, Token::new(0, 1, "anything"));
+        let out = remove_tokens(&pair(), &schema(), &[&r]);
+        assert_eq!(out.right.value(0), "nikon case");
+    }
+
+    #[test]
+    fn removing_nothing_is_identity() {
+        assert_eq!(remove_tokens(&pair(), &schema(), &[]), pair());
+    }
+
+    #[test]
+    fn removing_all_tokens_of_an_attribute_empties_it() {
+        let r0 = (EntitySide::Left, Token::new(1, 0, "849.99"));
+        let out = remove_tokens(&pair(), &schema(), &[&r0]);
+        assert_eq!(out.left.value(1), "");
+    }
+
+    #[test]
+    fn multiple_removals_across_sides() {
+        let a = (EntitySide::Left, Token::new(0, 0, "sony"));
+        let b = (EntitySide::Right, Token::new(0, 2, "case"));
+        let c = (EntitySide::Right, Token::new(1, 0, "7.99"));
+        let out = remove_tokens(&pair(), &schema(), &[&a, &b, &c]);
+        assert_eq!(out.left.value(0), "digital camera");
+        assert_eq!(out.right.value(0), "nikon camera");
+        assert_eq!(out.right.value(1), "");
+    }
+
+    #[test]
+    fn nonexistent_coordinates_are_ignored() {
+        let ghost = (EntitySide::Left, Token::new(0, 99, "ghost"));
+        assert_eq!(remove_tokens(&pair(), &schema(), &[&ghost]), pair());
+    }
+}

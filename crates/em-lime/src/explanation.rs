@@ -1,0 +1,157 @@
+//! The explanation result type shared by every explainer in the workspace.
+
+use em_entity::{EntitySide, Schema, Token};
+
+/// The weight an explanation assigns to one token of the record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenWeight {
+    /// Which entity the token belongs to.
+    pub side: EntitySide,
+    /// The token (attribute, occurrence, text).
+    pub token: Token,
+    /// Surrogate-model coefficient. Positive pushes towards *match*,
+    /// negative towards *non-match*.
+    pub weight: f64,
+}
+
+/// A local explanation of one EM record: a linear model over the record's
+/// tokens approximating the black-box model around the record.
+#[derive(Debug, Clone)]
+pub struct PairExplanation {
+    /// Per-token coefficients.
+    pub token_weights: Vec<TokenWeight>,
+    /// Surrogate intercept.
+    pub intercept: f64,
+    /// Black-box probability on the unperturbed record.
+    pub model_prediction: f64,
+    /// Surrogate prediction on the unperturbed record (all features on).
+    pub surrogate_prediction: f64,
+    /// Weighted R² of the surrogate on the perturbation dataset.
+    pub surrogate_r2: f64,
+}
+
+impl PairExplanation {
+    /// Token weights sorted by decreasing `|weight|`.
+    pub fn ranked(&self) -> Vec<&TokenWeight> {
+        let mut v: Vec<&TokenWeight> = self.token_weights.iter().collect();
+        v.sort_by(|a, b| b.weight.abs().partial_cmp(&a.weight.abs()).expect("weights are finite"));
+        v
+    }
+
+    /// The `k` tokens with the largest absolute weight.
+    pub fn top_k(&self, k: usize) -> Vec<&TokenWeight> {
+        self.ranked().into_iter().take(k).collect()
+    }
+
+    /// Tokens with strictly positive weight (pushing towards match).
+    pub fn positive_tokens(&self) -> Vec<&TokenWeight> {
+        self.token_weights.iter().filter(|t| t.weight > 0.0).collect()
+    }
+
+    /// Tokens with strictly negative weight (pushing towards non-match).
+    pub fn negative_tokens(&self) -> Vec<&TokenWeight> {
+        self.token_weights.iter().filter(|t| t.weight < 0.0).collect()
+    }
+
+    /// Sum of `|token weight|` per attribute — the quantity the paper's
+    /// attribute-based evaluation (Table 3) compares against the EM model's
+    /// own attribute weights.
+    pub fn attribute_importance(&self, schema: &Schema) -> Vec<f64> {
+        let mut out = vec![0.0; schema.len()];
+        for tw in &self.token_weights {
+            out[tw.token.attribute] += tw.weight.abs();
+        }
+        out
+    }
+
+    /// Sum of the weights of the given subset of tokens (used by the
+    /// token-removal evaluations of Section 4.2.1 / 4.3).
+    pub fn weight_sum<'a, I: IntoIterator<Item = &'a TokenWeight>>(tokens: I) -> f64 {
+        tokens.into_iter().map(|t| t.weight).sum()
+    }
+
+    /// Renders the top-k tokens as `attr/text:+0.123` lines for display.
+    pub fn render_top_k(&self, schema: &Schema, k: usize) -> String {
+        self.top_k(k)
+            .into_iter()
+            .map(|tw| {
+                format!(
+                    "{}_{}/{}: {:+.4}",
+                    tw.side.prefix(),
+                    schema.name(tw.token.attribute),
+                    tw.token.text,
+                    tw.weight
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn explanation() -> PairExplanation {
+        PairExplanation {
+            token_weights: vec![
+                TokenWeight { side: EntitySide::Left, token: Token::new(0, 0, "sony"), weight: 0.5 },
+                TokenWeight { side: EntitySide::Left, token: Token::new(1, 0, "lens"), weight: -0.8 },
+                TokenWeight { side: EntitySide::Right, token: Token::new(0, 0, "nikon"), weight: 0.1 },
+                TokenWeight { side: EntitySide::Right, token: Token::new(1, 1, "case"), weight: -0.2 },
+            ],
+            intercept: 0.3,
+            model_prediction: 0.12,
+            surrogate_prediction: 0.15,
+            surrogate_r2: 0.9,
+        }
+    }
+
+    #[test]
+    fn ranked_sorts_by_absolute_weight() {
+        let e = explanation();
+        let r = e.ranked();
+        assert_eq!(r[0].token.text, "lens");
+        assert_eq!(r[1].token.text, "sony");
+        assert_eq!(r[3].token.text, "nikon");
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let e = explanation();
+        assert_eq!(e.top_k(2).len(), 2);
+        assert_eq!(e.top_k(100).len(), 4);
+    }
+
+    #[test]
+    fn positive_and_negative_partition() {
+        let e = explanation();
+        assert_eq!(e.positive_tokens().len(), 2);
+        assert_eq!(e.negative_tokens().len(), 2);
+    }
+
+    #[test]
+    fn attribute_importance_sums_absolute_weights() {
+        let e = explanation();
+        let schema = Schema::from_names(vec!["name", "description"]);
+        let imp = e.attribute_importance(&schema);
+        assert!((imp[0] - 0.6).abs() < 1e-12);
+        assert!((imp[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_sum_adds_up() {
+        let e = explanation();
+        let s = PairExplanation::weight_sum(e.positive_tokens());
+        assert!((s - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_sides_and_weights() {
+        let e = explanation();
+        let schema = Schema::from_names(vec!["name", "description"]);
+        let s = e.render_top_k(&schema, 2);
+        assert!(s.contains("left_description/lens"));
+        assert!(s.contains("-0.8"));
+    }
+}

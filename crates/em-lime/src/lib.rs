@@ -1,0 +1,34 @@
+//! A from-scratch LIME-style perturbation explainer for entity matching.
+//!
+//! This crate provides the three yellow-shadowed blocks of the paper's
+//! Figure 2 — the *generic* post-hoc perturbation-based explanation system
+//! that Landmark Explanation extends:
+//!
+//! * [`sampler`] — *Perturbation generation*: binary masks over
+//!   interpretable features (tokens), drawn the way LIME's text explainer
+//!   draws them;
+//! * [`surrogate`] — *Surrogate model creation*: proximity-weighted ridge
+//!   (or lasso) regression from masks to black-box probabilities;
+//! * [`lime`] — the glue that tokenizes a record, perturbs it, scores the
+//!   reconstructions with the black-box [`em_entity::MatchModel`], and fits
+//!   the surrogate. Applied to an EM pair with token dropping over **both**
+//!   entities this is exactly the paper's *LIME / Mojito Drop* baseline;
+//! * [`mojito`] — the *Mojito Copy* baseline: attribute-level copy
+//!   perturbations whose attribute weight is spread uniformly over the
+//!   attribute's tokens;
+//! * [`explanation`] — the [`PairExplanation`] result type shared by all
+//!   explainers in the workspace (including `landmark-core`).
+
+pub mod anchor;
+pub mod explanation;
+pub mod lime;
+pub mod mojito;
+pub mod sampler;
+pub mod surrogate;
+
+pub use anchor::{AnchorConfig, AnchorExplainer, AnchorExplanation};
+pub use explanation::{PairExplanation, TokenWeight};
+pub use lime::{LimeConfig, LimeExplainer};
+pub use mojito::{MojitoCopyConfig, MojitoCopyExplainer};
+pub use sampler::{sample_masks, MaskSampler};
+pub use surrogate::{fit_surrogate, SurrogateConfig, SurrogateFit, SurrogateSolver};

@@ -1,0 +1,111 @@
+//! Feature standardization (zero mean, unit variance).
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Fitted per-feature standardization parameters.
+///
+/// Columns with zero variance are left unscaled (scale = 1) so that constant
+/// features map to zero rather than NaN.
+#[derive(Debug, Clone)]
+pub struct Standardizer {
+    /// Per-column means.
+    pub means: Vec<f64>,
+    /// Per-column standard deviations (1.0 for constant columns).
+    pub stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits means and standard deviations on the rows of `x`.
+    pub fn fit(x: &Matrix) -> Result<Standardizer> {
+        let n = x.rows();
+        let d = x.cols();
+        if n == 0 || d == 0 {
+            return Err(LinalgError::EmptyInput);
+        }
+        let mut means = vec![0.0; d];
+        for r in 0..n {
+            for (m, &v) in means.iter_mut().zip(x.row(r)) {
+                *m += v;
+            }
+        }
+        for m in means.iter_mut() {
+            *m /= n as f64;
+        }
+        let mut vars = vec![0.0; d];
+        for r in 0..n {
+            for ((v, m), &xv) in vars.iter_mut().zip(&means).zip(x.row(r)) {
+                let dlt = xv - m;
+                *v += dlt * dlt;
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n as f64).sqrt();
+                if s > 1e-12 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Ok(Standardizer { means, stds })
+    }
+
+    /// Standardizes a matrix in place (each column to zero mean/unit std).
+    pub fn transform(&self, x: &mut Matrix) {
+        for r in 0..x.rows() {
+            let row = x.row_mut(r);
+            for ((v, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+                *v = (*v - m) / s;
+            }
+        }
+    }
+
+    /// Standardizes a single feature vector.
+    pub fn transform_row(&self, x: &[f64]) -> Vec<f64> {
+        x.iter().zip(&self.means).zip(&self.stds).map(|((v, m), s)| (v - m) / s).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_transform_gives_zero_mean_unit_std() {
+        let x = Matrix::from_rows(&[vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0], vec![4.0, 40.0]]).unwrap();
+        let st = Standardizer::fit(&x).unwrap();
+        let mut z = x.clone();
+        st.transform(&mut z);
+        for c in 0..2 {
+            let col = z.col(c);
+            let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+            let var: f64 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / col.len() as f64;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let x = Matrix::from_rows(&[vec![5.0], vec![5.0], vec![5.0]]).unwrap();
+        let st = Standardizer::fit(&x).unwrap();
+        assert_eq!(st.transform_row(&[5.0]), vec![0.0]);
+        assert_eq!(st.stds, vec![1.0]);
+    }
+
+    #[test]
+    fn transform_row_matches_matrix_transform() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 6.0]]).unwrap();
+        let st = Standardizer::fit(&x).unwrap();
+        let mut z = x.clone();
+        st.transform(&mut z);
+        assert_eq!(st.transform_row(x.row(0)), z.row(0).to_vec());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(Standardizer::fit(&Matrix::zeros(0, 0)).is_err());
+    }
+}

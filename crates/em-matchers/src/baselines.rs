@@ -1,0 +1,156 @@
+//! Interpretable baseline matchers.
+//!
+//! The related-work section of the paper contrasts learned matchers with
+//! rule-based ones, which are interpretable by construction. These two
+//! baselines give the test suite and examples cheap, fully-predictable
+//! models, and serve as sanity comparators in the benches.
+
+use em_entity::{EntityPair, MatchModel, Schema};
+use em_text::tokens::normalized_tokens;
+use em_text::jaccard;
+
+/// Declares a match when the mean per-attribute token-Jaccard similarity
+/// reaches a threshold. The "probability" is the mean similarity itself.
+#[derive(Debug, Clone)]
+pub struct ThresholdMatcher {
+    /// Decision threshold on the mean similarity.
+    pub threshold: f64,
+}
+
+impl ThresholdMatcher {
+    /// Creates a matcher with the given threshold.
+    pub fn new(threshold: f64) -> Self {
+        ThresholdMatcher { threshold }
+    }
+
+    fn mean_similarity(schema: &Schema, pair: &EntityPair) -> f64 {
+        if schema.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for i in 0..schema.len() {
+            let lt = normalized_tokens(pair.left.value(i));
+            let rt = normalized_tokens(pair.right.value(i));
+            let lr: Vec<&str> = lt.iter().map(String::as_str).collect();
+            let rr: Vec<&str> = rt.iter().map(String::as_str).collect();
+            total += jaccard(&lr, &rr);
+        }
+        total / schema.len() as f64
+    }
+}
+
+impl MatchModel for ThresholdMatcher {
+    fn predict_proba(&self, schema: &Schema, pair: &EntityPair) -> f64 {
+        Self::mean_similarity(schema, pair)
+    }
+
+    fn predict(&self, schema: &Schema, pair: &EntityPair) -> bool {
+        self.predict_proba(schema, pair) >= self.threshold
+    }
+}
+
+/// A conjunctive rule: *every* listed attribute must reach its own
+/// similarity threshold. Probability is the minimum attribute similarity
+/// (a fuzzy AND).
+#[derive(Debug, Clone)]
+pub struct RuleMatcher {
+    /// `(attribute index, minimum token-Jaccard similarity)` conjuncts.
+    pub conjuncts: Vec<(usize, f64)>,
+}
+
+impl RuleMatcher {
+    /// Creates a rule from conjuncts.
+    pub fn new(conjuncts: Vec<(usize, f64)>) -> Self {
+        RuleMatcher { conjuncts }
+    }
+
+    fn attr_similarity(pair: &EntityPair, idx: usize) -> f64 {
+        let lt = normalized_tokens(pair.left.value(idx));
+        let rt = normalized_tokens(pair.right.value(idx));
+        let lr: Vec<&str> = lt.iter().map(String::as_str).collect();
+        let rr: Vec<&str> = rt.iter().map(String::as_str).collect();
+        jaccard(&lr, &rr)
+    }
+}
+
+impl MatchModel for RuleMatcher {
+    fn predict_proba(&self, _schema: &Schema, pair: &EntityPair) -> f64 {
+        self.conjuncts
+            .iter()
+            .map(|&(idx, _)| Self::attr_similarity(pair, idx))
+            .fold(1.0, f64::min)
+    }
+
+    fn predict(&self, _schema: &Schema, pair: &EntityPair) -> bool {
+        self.conjuncts
+            .iter()
+            .all(|&(idx, thr)| Self::attr_similarity(pair, idx) >= thr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_entity::Entity;
+
+    fn schema() -> Schema {
+        Schema::from_names(vec!["name", "brand"])
+    }
+
+    fn matching_pair() -> EntityPair {
+        EntityPair::new(
+            Entity::new(vec!["alpha camera kit", "sony"]),
+            Entity::new(vec!["alpha camera kit", "sony"]),
+        )
+    }
+
+    fn partial_pair() -> EntityPair {
+        EntityPair::new(
+            Entity::new(vec!["alpha camera kit", "sony"]),
+            Entity::new(vec!["alpha camera", "nikon"]),
+        )
+    }
+
+    #[test]
+    fn threshold_matcher_identical_is_one() {
+        let m = ThresholdMatcher::new(0.5);
+        assert_eq!(m.predict_proba(&schema(), &matching_pair()), 1.0);
+        assert!(m.predict(&schema(), &matching_pair()));
+    }
+
+    #[test]
+    fn threshold_matcher_partial_is_between() {
+        let m = ThresholdMatcher::new(0.5);
+        let p = m.predict_proba(&schema(), &partial_pair());
+        assert!(p > 0.0 && p < 1.0);
+    }
+
+    #[test]
+    fn threshold_controls_decision() {
+        let p = ThresholdMatcher::new(0.0).predict_proba(&schema(), &partial_pair());
+        assert!(ThresholdMatcher::new(p - 0.01).predict(&schema(), &partial_pair()));
+        assert!(!ThresholdMatcher::new(p + 0.01).predict(&schema(), &partial_pair()));
+    }
+
+    #[test]
+    fn rule_matcher_requires_all_conjuncts() {
+        let rule = RuleMatcher::new(vec![(0, 0.5), (1, 0.5)]);
+        assert!(rule.predict(&schema(), &matching_pair()));
+        // Brand mismatches in the partial pair, so the conjunction fails.
+        assert!(!rule.predict(&schema(), &partial_pair()));
+    }
+
+    #[test]
+    fn rule_matcher_probability_is_min() {
+        let rule = RuleMatcher::new(vec![(0, 0.5), (1, 0.5)]);
+        let p = rule.predict_proba(&schema(), &partial_pair());
+        assert_eq!(p, 0.0); // brand similarity is 0
+    }
+
+    #[test]
+    fn empty_rule_always_matches() {
+        let rule = RuleMatcher::new(vec![]);
+        assert!(rule.predict(&schema(), &partial_pair()));
+        assert_eq!(rule.predict_proba(&schema(), &partial_pair()), 1.0);
+    }
+}

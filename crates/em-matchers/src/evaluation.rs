@@ -1,0 +1,165 @@
+//! Matcher quality metrics and threshold tuning.
+
+use em_entity::{EmDataset, MatchModel};
+
+/// Precision / recall / F1 of a matcher on a labeled dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchQuality {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// True negatives.
+    pub tn: usize,
+}
+
+impl MatchQuality {
+    /// Precision `tp / (tp + fp)`; 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 0 when undefined.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 score; 0 when precision + recall are both 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.fn_ + self.tn;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+}
+
+/// Evaluates a matcher on a dataset at a given decision threshold.
+pub fn evaluate_matcher<M: MatchModel>(model: &M, dataset: &EmDataset, threshold: f64) -> MatchQuality {
+    let mut q = MatchQuality { tp: 0, fp: 0, fn_: 0, tn: 0 };
+    let schema = dataset.schema();
+    for r in dataset.records() {
+        let predicted = model.predict_with_threshold(schema, &r.pair, threshold);
+        match (predicted, r.label) {
+            (true, true) => q.tp += 1,
+            (true, false) => q.fp += 1,
+            (false, true) => q.fn_ += 1,
+            (false, false) => q.tn += 1,
+        }
+    }
+    q
+}
+
+/// Sweeps thresholds in `[0.05, 0.95]` and returns the one maximizing F1
+/// together with the F1 achieved.
+pub fn tune_threshold<M: MatchModel>(model: &M, dataset: &EmDataset) -> (f64, f64) {
+    let mut best = (0.5, -1.0);
+    for step in 1..=19 {
+        let t = step as f64 * 0.05;
+        let f1 = evaluate_matcher(model, dataset, t).f1();
+        if f1 > best.1 {
+            best = (t, f1);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_entity::{Entity, EntityPair, LabeledPair, Schema};
+
+    struct ConstantModel(f64);
+    impl MatchModel for ConstantModel {
+        fn predict_proba(&self, _: &Schema, _: &EntityPair) -> f64 {
+            self.0
+        }
+    }
+
+    /// Model whose probability equals the (numeric) left value.
+    struct ValueModel;
+    impl MatchModel for ValueModel {
+        fn predict_proba(&self, _: &Schema, pair: &EntityPair) -> f64 {
+            pair.left.value(0).parse().unwrap_or(0.0)
+        }
+    }
+
+    fn dataset_with_scores(scores_and_labels: &[(f64, bool)]) -> EmDataset {
+        let schema = Schema::from_names(vec!["v"]);
+        let records = scores_and_labels
+            .iter()
+            .map(|&(s, l)| {
+                LabeledPair::new(
+                    EntityPair::new(Entity::new(vec![format!("{s}")]), Entity::new(vec!["x"])),
+                    l,
+                )
+            })
+            .collect();
+        EmDataset::new("scored", schema, records)
+    }
+
+    #[test]
+    fn quality_arithmetic() {
+        let q = MatchQuality { tp: 8, fp: 2, fn_: 4, tn: 6 };
+        assert!((q.precision() - 0.8).abs() < 1e-12);
+        assert!((q.recall() - 8.0 / 12.0).abs() < 1e-12);
+        assert!((q.accuracy() - 0.7).abs() < 1e-12);
+        let f1 = 2.0 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0 / 12.0);
+        assert!((q.f1() - f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_quality_is_zero_not_nan() {
+        let q = MatchQuality { tp: 0, fp: 0, fn_: 0, tn: 0 };
+        assert_eq!(q.precision(), 0.0);
+        assert_eq!(q.recall(), 0.0);
+        assert_eq!(q.f1(), 0.0);
+        assert_eq!(q.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn constant_model_confusion_counts() {
+        let d = dataset_with_scores(&[(0.0, true), (0.0, false), (0.0, true)]);
+        let q = evaluate_matcher(&ConstantModel(1.0), &d, 0.5);
+        assert_eq!((q.tp, q.fp, q.fn_, q.tn), (2, 1, 0, 0));
+        let q = evaluate_matcher(&ConstantModel(0.0), &d, 0.5);
+        assert_eq!((q.tp, q.fp, q.fn_, q.tn), (0, 0, 2, 1));
+    }
+
+    #[test]
+    fn tune_threshold_finds_separating_value() {
+        // Positives score 0.9, negatives 0.2: any threshold in (0.2, 0.9] is perfect.
+        let d = dataset_with_scores(&[
+            (0.9, true),
+            (0.9, true),
+            (0.2, false),
+            (0.2, false),
+            (0.2, false),
+        ]);
+        let (t, f1) = tune_threshold(&ValueModel, &d);
+        assert!((f1 - 1.0).abs() < 1e-12, "f1={f1} at t={t}");
+        assert!(t > 0.2 && t <= 0.9);
+    }
+}

@@ -1,0 +1,30 @@
+//! Entity-matching models.
+//!
+//! The paper's experiments explain a **Logistic Regression classifier**
+//! (Section 4.1). This crate provides that model:
+//!
+//! * [`FeatureExtractor`] — computes one composite similarity feature per
+//!   logical attribute, so the trained model has exactly one coefficient
+//!   per attribute (needed verbatim by the paper's attribute-based
+//!   evaluation, Table 3, which ranks attributes by LR weight);
+//! * [`LogisticMatcher`] — the trained classifier implementing
+//!   [`em_entity::MatchModel`];
+//! * simple interpretable baselines: [`ThresholdMatcher`] and
+//!   [`RuleMatcher`];
+//! * [`evaluation`] — precision / recall / F1 and threshold tuning.
+
+pub mod baselines;
+pub mod evaluation;
+pub mod importance;
+pub mod features;
+pub mod logistic_matcher;
+pub mod naive_bayes;
+pub mod persist;
+
+pub use baselines::{RuleMatcher, ThresholdMatcher};
+pub use evaluation::{evaluate_matcher, tune_threshold, MatchQuality};
+pub use features::FeatureExtractor;
+pub use importance::{drop_column_importance, permutation_importance};
+pub use logistic_matcher::{LogisticMatcher, MatcherConfig};
+pub use naive_bayes::NaiveBayesMatcher;
+pub use persist::{deserialize_logistic, serialize_logistic, PersistError};

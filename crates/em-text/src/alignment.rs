@@ -1,0 +1,126 @@
+//! Smith-Waterman local alignment similarity.
+//!
+//! Classic in record linkage for attribute values that embed a shared
+//! substring inside unrelated context ("sony alpha dslr a200" vs
+//! "camera dslr a200 kit").
+
+/// Scoring scheme for [`smith_waterman`].
+#[derive(Debug, Clone, Copy)]
+pub struct AlignmentScoring {
+    /// Score added for a character match.
+    pub match_score: f64,
+    /// Penalty (negative contribution) for a mismatch.
+    pub mismatch_penalty: f64,
+    /// Penalty (negative contribution) per gap character.
+    pub gap_penalty: f64,
+}
+
+impl Default for AlignmentScoring {
+    fn default() -> Self {
+        AlignmentScoring { match_score: 2.0, mismatch_penalty: -1.0, gap_penalty: -1.0 }
+    }
+}
+
+/// Raw Smith-Waterman local alignment score between two strings.
+pub fn smith_waterman(a: &str, b: &str, scoring: &AlignmentScoring) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let cols = b.len() + 1;
+    let mut prev = vec![0.0f64; cols];
+    let mut curr = vec![0.0f64; cols];
+    let mut best = 0.0f64;
+    for &ca in &a {
+        for j in 1..cols {
+            let diag = prev[j - 1]
+                + if ca == b[j - 1] { scoring.match_score } else { scoring.mismatch_penalty };
+            let up = prev[j] + scoring.gap_penalty;
+            let left = curr[j - 1] + scoring.gap_penalty;
+            curr[j] = diag.max(up).max(left).max(0.0);
+            best = best.max(curr[j]);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+        curr[0] = 0.0;
+    }
+    best
+}
+
+/// Normalized Smith-Waterman similarity in `[0, 1]`: the local alignment
+/// score divided by the score of perfectly aligning the shorter string.
+/// Two empty strings are similarity 1; one empty string scores 0.
+pub fn smith_waterman_similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    if la == 0 && lb == 0 {
+        return 1.0;
+    }
+    if la == 0 || lb == 0 {
+        return 0.0;
+    }
+    let scoring = AlignmentScoring::default();
+    let max_score = scoring.match_score * la.min(lb) as f64;
+    (smith_waterman(a, b, &scoring) / max_score).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_score_maximally() {
+        assert_eq!(smith_waterman_similarity("dslr", "dslr"), 1.0);
+    }
+
+    #[test]
+    fn shared_substring_dominates_context() {
+        // Common local region " dslra200" (9 chars) out of 19-char strings:
+        // similarity ≈ 18/38 ≈ 0.47, far above unrelated-string noise.
+        let s = smith_waterman_similarity("sony alpha dslra200", "kit dslra200 bundle");
+        assert!(s > 0.4, "{s}");
+        let noise = smith_waterman_similarity("sony alpha dslra200", "leather black case");
+        assert!(s > noise, "{s} vs {noise}");
+    }
+
+    #[test]
+    fn disjoint_alphabets_score_zero() {
+        assert_eq!(smith_waterman_similarity("aaa", "zzz"), 0.0);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        assert_eq!(smith_waterman_similarity("", ""), 1.0);
+        assert_eq!(smith_waterman_similarity("", "abc"), 0.0);
+        assert_eq!(smith_waterman_similarity("abc", ""), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let (a, b) = ("walmart store", "wal-mart");
+        assert!((smith_waterman_similarity(a, b) - smith_waterman_similarity(b, a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn substring_of_longer_string_is_one() {
+        assert_eq!(smith_waterman_similarity("a200", "dslr a200 kit"), 1.0);
+    }
+
+    #[test]
+    fn raw_score_matches_manual_example() {
+        // "ab" vs "ab": two matches along the diagonal.
+        let s = smith_waterman("ab", "ab", &AlignmentScoring::default());
+        assert_eq!(s, 4.0);
+        // One mismatch in the middle still aligns around it.
+        let s = smith_waterman("axb", "ayb", &AlignmentScoring::default());
+        assert!(s >= 3.0, "{s}");
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        for (a, b) in [("sony", "song"), ("x", "yyyyyy"), ("price 849.99", "7.99")] {
+            let s = smith_waterman_similarity(a, b);
+            assert!((0.0..=1.0).contains(&s), "{s}");
+        }
+    }
+}

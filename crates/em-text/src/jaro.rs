@@ -1,0 +1,121 @@
+//! Jaro and Jaro-Winkler similarity.
+
+/// Jaro similarity in `[0, 1]`.
+///
+/// Two empty strings are defined to have similarity 1; one empty string
+/// against a non-empty one has similarity 0.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_matched = vec![false; b.len()];
+    let mut a_matches: Vec<char> = Vec::new();
+    let mut matches_in_b: Vec<usize> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_matched[j] && b[j] == ca {
+                b_matched[j] = true;
+                a_matches.push(ca);
+                matches_in_b.push(j);
+                break;
+            }
+        }
+    }
+    let m = a_matches.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Count transpositions: matched characters of b in order of their match
+    // in a, compared pairwise.
+    let mut b_in_order: Vec<usize> = matches_in_b.clone();
+    b_in_order.sort_unstable();
+    let mut transpositions = 0;
+    for (&ja, &jb) in matches_in_b.iter().zip(&b_in_order) {
+        if b[ja] != b[jb] {
+            transpositions += 1;
+        }
+    }
+    let t = transpositions as f64 / 2.0;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity with the standard prefix scale `p = 0.1` and
+/// a prefix cap of 4 characters.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_are_one() {
+        assert_eq!(jaro("martha", "martha"), 1.0);
+        assert_eq!(jaro_winkler("martha", "martha"), 1.0);
+    }
+
+    #[test]
+    fn classic_martha_marhta() {
+        assert!((jaro("martha", "marhta") - 0.944_444).abs() < 1e-5);
+        assert!((jaro_winkler("martha", "marhta") - 0.961_111).abs() < 1e-5);
+    }
+
+    #[test]
+    fn classic_dixon_dicksonx() {
+        assert!((jaro("dixon", "dicksonx") - 0.766_667).abs() < 1e-5);
+        assert!((jaro_winkler("dixon", "dicksonx") - 0.813_333).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_string_conventions() {
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("", "abc"), 0.0);
+        assert_eq!(jaro("abc", ""), 0.0);
+    }
+
+    #[test]
+    fn disjoint_strings_are_zero() {
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn winkler_boosts_common_prefix() {
+        let a = jaro("prefixaa", "prefixbb");
+        let w = jaro_winkler("prefixaa", "prefixbb");
+        assert!(w > a);
+    }
+
+    #[test]
+    fn symmetric() {
+        let (a, b) = ("crate", "trace");
+        assert!((jaro(a, b) - jaro(b, a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        for (a, b) in [("a", "b"), ("sony", "song"), ("walmart", "amazon"), ("x", "xxxxxxx")] {
+            let j = jaro(a, b);
+            let w = jaro_winkler(a, b);
+            assert!((0.0..=1.0).contains(&j));
+            assert!((0.0..=1.0).contains(&w));
+            assert!(w >= j);
+        }
+    }
+}

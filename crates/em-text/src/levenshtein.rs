@@ -1,0 +1,84 @@
+//! Levenshtein edit distance.
+
+/// Levenshtein (edit) distance between two strings, computed over Unicode
+/// scalar values with the classic two-row dynamic program.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Normalized Levenshtein similarity in `[0, 1]`:
+/// `1 − distance / max(len_a, len_b)`; two empty strings are similarity 1.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let denom = la.max(lb);
+    if denom == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / denom as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_have_zero_distance() {
+        assert_eq!(levenshtein("kitten", "kitten"), 0);
+    }
+
+    #[test]
+    fn classic_kitten_sitting() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn empty_string_cases() {
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", ""), 0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        assert_eq!(levenshtein("flaw", "lawn"), levenshtein("lawn", "flaw"));
+    }
+
+    #[test]
+    fn unicode_counts_scalars_not_bytes() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+        let s = levenshtein_similarity("kitten", "sitting");
+        assert!(s > 0.0 && s < 1.0);
+    }
+
+    #[test]
+    fn triangle_inequality_spot_check() {
+        let (a, b, c) = ("sony alpha", "sony", "nikon");
+        assert!(levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c));
+    }
+}

@@ -1,0 +1,88 @@
+//! Monge-Elkan hybrid similarity.
+//!
+//! For each token of `a`, find the best-matching token of `b` under an
+//! inner character-level similarity, then average. Useful for multi-word
+//! attribute values with typos ("wal-mart stores" vs "walmart store").
+
+/// Monge-Elkan similarity of token list `a` against `b` using the provided
+/// inner similarity. Note this direction-sensitive form is the classic
+/// definition; use [`monge_elkan_symmetric`] for a symmetric score.
+pub fn monge_elkan<F>(a: &[&str], b: &[&str], inner: F) -> f64
+where
+    F: Fn(&str, &str) -> f64,
+{
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for ta in a {
+        let best = b.iter().map(|tb| inner(ta, tb)).fold(0.0f64, f64::max);
+        total += best;
+    }
+    total / a.len() as f64
+}
+
+/// Symmetric Monge-Elkan: the mean of both directions.
+pub fn monge_elkan_symmetric<F>(a: &[&str], b: &[&str], inner: F) -> f64
+where
+    F: Fn(&str, &str) -> f64 + Copy,
+{
+    (monge_elkan(a, b, inner) + monge_elkan(b, a, inner)) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jaro::jaro_winkler;
+
+    #[test]
+    fn identical_lists_are_one() {
+        let a = ["sony", "camera"];
+        assert!((monge_elkan(&a, &a, jaro_winkler) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let e: [&str; 0] = [];
+        assert_eq!(monge_elkan(&e, &e, jaro_winkler), 1.0);
+        assert_eq!(monge_elkan(&e, &["a"], jaro_winkler), 0.0);
+        assert_eq!(monge_elkan(&["a"], &e, jaro_winkler), 0.0);
+    }
+
+    #[test]
+    fn tolerant_to_typos() {
+        let a = ["walmart", "stores"];
+        let b = ["wal-mart", "store"];
+        let s = monge_elkan(&a, &b, jaro_winkler);
+        assert!(s > 0.85, "{s}");
+    }
+
+    #[test]
+    fn subset_direction_matters() {
+        let a = ["sony"];
+        let b = ["sony", "unrelated", "tokens"];
+        let forward = monge_elkan(&a, &b, jaro_winkler); // every a-token matched perfectly
+        let backward = monge_elkan(&b, &a, jaro_winkler);
+        assert!(forward > backward);
+        assert!((forward - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_variant_is_symmetric() {
+        let a = ["sony", "alpha"];
+        let b = ["sony", "alpha", "kit", "lens"];
+        let s1 = monge_elkan_symmetric(&a, &b, jaro_winkler);
+        let s2 = monge_elkan_symmetric(&b, &a, jaro_winkler);
+        assert!((s1 - s2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_lists_score_low() {
+        let a = ["qqq"];
+        let b = ["zzz"];
+        assert!(monge_elkan(&a, &b, jaro_winkler) < 0.5);
+    }
+}

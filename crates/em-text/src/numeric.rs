@@ -1,0 +1,99 @@
+//! Numeric attribute similarity.
+//!
+//! Price-like attributes ("849.99" vs "7.99") carry strong match signal in
+//! product datasets; comparing them as strings throws that away.
+
+/// Attempts to parse a numeric value out of a string, tolerating currency
+/// symbols, thousands separators, and surrounding junk. Returns the first
+/// parseable number found.
+pub fn parse_number(s: &str) -> Option<f64> {
+    let mut cur = String::new();
+    let mut best: Option<f64> = None;
+    for c in s.chars() {
+        if c.is_ascii_digit() || c == '.' {
+            cur.push(c);
+        } else if c == ',' && !cur.is_empty() {
+            // thousands separator inside a number: skip
+            continue;
+        } else if !cur.is_empty() {
+            if let Ok(v) = cur.trim_end_matches('.').parse::<f64>() {
+                best = Some(v);
+                break;
+            }
+            cur.clear();
+        }
+    }
+    if best.is_none() && !cur.is_empty() {
+        best = cur.trim_end_matches('.').parse::<f64>().ok();
+    }
+    best
+}
+
+/// Relative numeric similarity in `[0, 1]`:
+/// `1 − |a − b| / max(|a|, |b|)`, with equal values (including 0, 0) = 1.
+/// Returns `None` if either string has no parseable number.
+pub fn numeric_similarity(a: &str, b: &str) -> Option<f64> {
+    let x = parse_number(a)?;
+    let y = parse_number(b)?;
+    let denom = x.abs().max(y.abs());
+    if denom == 0.0 {
+        return Some(1.0);
+    }
+    Some((1.0 - (x - y).abs() / denom).max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_numbers() {
+        assert_eq!(parse_number("849.99"), Some(849.99));
+        assert_eq!(parse_number("42"), Some(42.0));
+    }
+
+    #[test]
+    fn parses_with_currency_and_noise() {
+        assert_eq!(parse_number("$1,299.00"), Some(1299.0));
+        assert_eq!(parse_number("price: 7.99 usd"), Some(7.99));
+    }
+
+    #[test]
+    fn trailing_dot_is_tolerated() {
+        assert_eq!(parse_number("12."), Some(12.0));
+    }
+
+    #[test]
+    fn no_number_returns_none() {
+        assert_eq!(parse_number("leather black"), None);
+        assert_eq!(parse_number(""), None);
+    }
+
+    #[test]
+    fn equal_values_are_one() {
+        assert_eq!(numeric_similarity("5.0", "5"), Some(1.0));
+        assert_eq!(numeric_similarity("0", "0.0"), Some(1.0));
+    }
+
+    #[test]
+    fn close_values_score_high() {
+        let s = numeric_similarity("100", "95").unwrap();
+        assert!((s - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn far_values_score_low() {
+        let s = numeric_similarity("849.99", "7.99").unwrap();
+        assert!(s < 0.05, "{s}");
+    }
+
+    #[test]
+    fn unparseable_returns_none() {
+        assert_eq!(numeric_similarity("sony", "7.99"), None);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(numeric_similarity("10", "30"), numeric_similarity("30", "10"));
+    }
+}

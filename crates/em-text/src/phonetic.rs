@@ -1,0 +1,110 @@
+//! Soundex phonetic encoding.
+//!
+//! Useful for person-name attributes (authors, artists) where the two
+//! sources transliterate differently ("smith" / "smyth").
+
+/// American Soundex code of a word: first letter + three digits.
+/// Non-alphabetic input yields `None`.
+pub fn soundex(word: &str) -> Option<String> {
+    let letters: Vec<char> = word
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_uppercase())
+        .collect();
+    let first = *letters.first()?;
+
+    fn digit(c: char) -> Option<char> {
+        match c {
+            'B' | 'F' | 'P' | 'V' => Some('1'),
+            'C' | 'G' | 'J' | 'K' | 'Q' | 'S' | 'X' | 'Z' => Some('2'),
+            'D' | 'T' => Some('3'),
+            'L' => Some('4'),
+            'M' | 'N' => Some('5'),
+            'R' => Some('6'),
+            _ => None, // vowels + H, W, Y
+        }
+    }
+
+    let mut code = String::new();
+    code.push(first);
+    let mut last_digit = digit(first);
+    for &c in &letters[1..] {
+        let d = digit(c);
+        match d {
+            Some(d) => {
+                // Adjacent identical codes collapse; H and W do not reset
+                // the adjacency, vowels do.
+                if Some(d) != last_digit {
+                    code.push(d);
+                    if code.len() == 4 {
+                        break;
+                    }
+                }
+                last_digit = Some(d);
+            }
+            None => {
+                if c != 'H' && c != 'W' {
+                    last_digit = None;
+                }
+            }
+        }
+    }
+    while code.len() < 4 {
+        code.push('0');
+    }
+    Some(code)
+}
+
+/// 1.0 if the Soundex codes of the two words agree, 0.0 otherwise (also
+/// 0.0 when either has no code).
+pub fn soundex_similarity(a: &str, b: &str) -> f64 {
+    match (soundex(a), soundex(b)) {
+        (Some(x), Some(y)) if x == y => 1.0,
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_examples() {
+        assert_eq!(soundex("Robert").as_deref(), Some("R163"));
+        assert_eq!(soundex("Rupert").as_deref(), Some("R163"));
+        assert_eq!(soundex("Ashcraft").as_deref(), Some("A261"));
+        assert_eq!(soundex("Ashcroft").as_deref(), Some("A261"));
+        assert_eq!(soundex("Tymczak").as_deref(), Some("T522"));
+        assert_eq!(soundex("Pfister").as_deref(), Some("P236"));
+    }
+
+    #[test]
+    fn smith_and_smyth_collide() {
+        assert_eq!(soundex("smith"), soundex("smyth"));
+        assert_eq!(soundex_similarity("smith", "smyth"), 1.0);
+    }
+
+    #[test]
+    fn different_names_differ() {
+        assert_ne!(soundex("garcia"), soundex("kowalski"));
+        assert_eq!(soundex_similarity("garcia", "kowalski"), 0.0);
+    }
+
+    #[test]
+    fn short_words_are_zero_padded() {
+        assert_eq!(soundex("ab").as_deref(), Some("A100"));
+        assert_eq!(soundex("a").as_deref(), Some("A000"));
+    }
+
+    #[test]
+    fn non_alphabetic_is_none() {
+        assert_eq!(soundex("1234"), None);
+        assert_eq!(soundex(""), None);
+        assert_eq!(soundex_similarity("", "smith"), 0.0);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(soundex("SMITH"), soundex("smith"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Character q-gram profiles and cosine similarity over them.
+
+use std::collections::HashMap;
+
+/// A bag of character q-grams with counts.
+#[derive(Debug, Clone)]
+pub struct QgramProfile {
+    q: usize,
+    counts: HashMap<String, u32>,
+}
+
+impl QgramProfile {
+    /// Builds the q-gram profile of `s`, padding with `#` on both sides so
+    /// that boundary characters contribute (standard padding scheme).
+    pub fn new(s: &str, q: usize) -> Self {
+        assert!(q >= 1, "q must be at least 1");
+        let mut counts = HashMap::new();
+        let padded: Vec<char> = std::iter::repeat_n('#', q - 1)
+            .chain(s.chars())
+            .chain(std::iter::repeat_n('#', q - 1))
+            .collect();
+        if padded.len() >= q {
+            for w in padded.windows(q) {
+                let gram: String = w.iter().collect();
+                *counts.entry(gram).or_insert(0) += 1;
+            }
+        }
+        QgramProfile { q, counts }
+    }
+
+    /// The q used to build this profile.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Number of distinct q-grams.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Cosine similarity between two profiles. Profiles built with
+    /// different q are incomparable and return 0.
+    pub fn cosine(&self, other: &QgramProfile) -> f64 {
+        if self.q != other.q {
+            return 0.0;
+        }
+        if self.counts.is_empty() && other.counts.is_empty() {
+            return 1.0;
+        }
+        if self.counts.is_empty() || other.counts.is_empty() {
+            return 0.0;
+        }
+        let mut dot = 0.0;
+        for (gram, &c) in &self.counts {
+            if let Some(&d) = other.counts.get(gram) {
+                dot += c as f64 * d as f64;
+            }
+        }
+        let na: f64 = self.counts.values().map(|&c| (c as f64) * (c as f64)).sum::<f64>().sqrt();
+        let nb: f64 = other.counts.values().map(|&c| (c as f64) * (c as f64)).sum::<f64>().sqrt();
+        dot / (na * nb)
+    }
+}
+
+/// Convenience: cosine similarity of the q-gram profiles of two strings.
+pub fn qgram_cosine(a: &str, b: &str, q: usize) -> f64 {
+    QgramProfile::new(a, q).cosine(&QgramProfile::new(b, q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_have_cosine_one() {
+        assert!((qgram_cosine("camera", "camera", 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_strings_have_cosine_zero() {
+        assert_eq!(qgram_cosine("aaa", "zzz", 2), 0.0);
+    }
+
+    #[test]
+    fn empty_strings() {
+        assert_eq!(qgram_cosine("", "", 3), 1.0);
+    }
+
+    #[test]
+    fn single_char_with_padding_has_grams() {
+        let p = QgramProfile::new("a", 3);
+        // '##a', '#a#', 'a##'
+        assert_eq!(p.distinct(), 3);
+    }
+
+    #[test]
+    fn similar_strings_score_high() {
+        let s = qgram_cosine("dslra200w", "dslra200", 3);
+        assert!(s > 0.7, "{s}");
+        assert!(s < 1.0);
+    }
+
+    #[test]
+    fn different_q_profiles_are_incomparable() {
+        let a = QgramProfile::new("abc", 2);
+        let b = QgramProfile::new("abc", 3);
+        assert_eq!(a.cosine(&b), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = "walmart";
+        let b = "wal-mart stores";
+        assert!((qgram_cosine(a, b, 3) - qgram_cosine(b, a, 3)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn q_zero_panics() {
+        QgramProfile::new("abc", 0);
+    }
+}

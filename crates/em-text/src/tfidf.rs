@@ -1,0 +1,181 @@
+//! TF-IDF vectorization and cosine similarity.
+//!
+//! Used by the EM matcher to compare long textual attributes (e.g. product
+//! descriptions): rare tokens shared across the two entities are strong
+//! match evidence, while ubiquitous tokens carry little signal.
+
+use std::collections::HashMap;
+
+/// Builder that accumulates corpus documents before freezing IDF weights.
+#[derive(Debug, Default)]
+pub struct TfIdfVectorizerBuilder {
+    doc_count: usize,
+    doc_freq: HashMap<String, usize>,
+}
+
+impl TfIdfVectorizerBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one document (a token list) to the corpus statistics.
+    pub fn add_document<S: AsRef<str>>(&mut self, tokens: &[S]) {
+        self.doc_count += 1;
+        let mut seen: HashMap<&str, ()> = HashMap::new();
+        for t in tokens {
+            seen.entry(t.as_ref()).or_insert(());
+        }
+        for (t, _) in seen {
+            *self.doc_freq.entry(t.to_string()).or_insert(0) += 1;
+        }
+    }
+
+    /// Freezes the IDF table.
+    pub fn build(self) -> TfIdfVectorizer {
+        let n = self.doc_count.max(1) as f64;
+        let idf = self
+            .doc_freq
+            .into_iter()
+            .map(|(t, df)| {
+                // Smoothed IDF (scikit-learn convention): ln((1+n)/(1+df)) + 1
+                let w = ((1.0 + n) / (1.0 + df as f64)).ln() + 1.0;
+                (t, w)
+            })
+            .collect();
+        TfIdfVectorizer { idf, default_idf: ((1.0 + n) / 1.0).ln() + 1.0 }
+    }
+}
+
+/// A frozen TF-IDF weighting table.
+#[derive(Debug, Clone)]
+pub struct TfIdfVectorizer {
+    idf: HashMap<String, f64>,
+    /// IDF assigned to tokens never seen in the corpus (max rarity).
+    default_idf: f64,
+}
+
+impl TfIdfVectorizer {
+    /// IDF weight of a token (out-of-vocabulary tokens get the max weight).
+    pub fn idf(&self, token: &str) -> f64 {
+        *self.idf.get(token).unwrap_or(&self.default_idf)
+    }
+
+    /// Number of tokens in the vocabulary.
+    pub fn vocab_size(&self) -> usize {
+        self.idf.len()
+    }
+
+    /// Converts a token list into a sparse TF-IDF map.
+    pub fn vectorize<S: AsRef<str>>(&self, tokens: &[S]) -> HashMap<String, f64> {
+        let mut tf: HashMap<&str, f64> = HashMap::new();
+        for t in tokens {
+            *tf.entry(t.as_ref()).or_insert(0.0) += 1.0;
+        }
+        tf.into_iter().map(|(t, f)| (t.to_string(), f * self.idf(t))).collect()
+    }
+
+    /// Cosine similarity between the TF-IDF vectors of two token lists.
+    ///
+    /// Two empty token lists have similarity 1; one empty list scores 0.
+    pub fn cosine<S: AsRef<str>>(&self, a: &[S], b: &[S]) -> f64 {
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        let va = self.vectorize(a);
+        let vb = self.vectorize(b);
+        let mut dot = 0.0;
+        for (t, x) in &va {
+            if let Some(y) = vb.get(t) {
+                dot += x * y;
+            }
+        }
+        let na: f64 = va.values().map(|x| x * x).sum::<f64>().sqrt();
+        let nb: f64 = vb.values().map(|x| x * x).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            return 0.0;
+        }
+        (dot / (na * nb)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_small_corpus() -> TfIdfVectorizer {
+        let mut b = TfIdfVectorizerBuilder::new();
+        b.add_document(&["sony", "camera", "digital"]);
+        b.add_document(&["nikon", "camera", "digital"]);
+        b.add_document(&["leather", "case", "black"]);
+        b.add_document(&["camera", "lens", "kit"]);
+        b.build()
+    }
+
+    #[test]
+    fn rare_tokens_have_higher_idf() {
+        let v = build_small_corpus();
+        assert!(v.idf("sony") > v.idf("camera"));
+    }
+
+    #[test]
+    fn oov_tokens_get_max_idf() {
+        let v = build_small_corpus();
+        assert!(v.idf("zzz-unknown") >= v.idf("sony"));
+    }
+
+    #[test]
+    fn identical_docs_have_cosine_one() {
+        let v = build_small_corpus();
+        let d = ["sony", "camera"];
+        assert!((v.cosine(&d, &d) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_docs_have_cosine_zero() {
+        let v = build_small_corpus();
+        assert_eq!(v.cosine(&["sony"], &["leather"]), 0.0);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let v = build_small_corpus();
+        let empty: [&str; 0] = [];
+        assert_eq!(v.cosine(&empty, &empty), 1.0);
+        assert_eq!(v.cosine(&empty, &["sony"]), 0.0);
+    }
+
+    #[test]
+    fn shared_rare_token_outweighs_shared_common_token() {
+        let v = build_small_corpus();
+        // "sony" is rare, "camera" is common.
+        let s_rare = v.cosine(&["sony", "x1", "x2"], &["sony", "y1", "y2"]);
+        let s_common = v.cosine(&["camera", "x1", "x2"], &["camera", "y1", "y2"]);
+        assert!(s_rare > s_common, "{s_rare} vs {s_common}");
+    }
+
+    #[test]
+    fn vectorize_counts_term_frequency() {
+        let v = build_small_corpus();
+        let m = v.vectorize(&["camera", "camera", "sony"]);
+        assert!(m["camera"] > v.idf("camera") * 1.5); // tf = 2
+        assert!((m["sony"] - v.idf("sony")).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vocab_size_counts_distinct_tokens() {
+        let v = build_small_corpus();
+        assert_eq!(v.vocab_size(), 9);
+    }
+
+    #[test]
+    fn cosine_symmetric() {
+        let v = build_small_corpus();
+        let a = ["sony", "camera", "kit"];
+        let b = ["nikon", "camera"];
+        assert!((v.cosine(&a, &b) - v.cosine(&b, &a)).abs() < 1e-12);
+    }
+}

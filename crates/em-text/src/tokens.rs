@@ -1,0 +1,64 @@
+//! Basic tokenization and normalization.
+//!
+//! The paper tokenizes attribute values by splitting on whitespace ("we
+//! create a token for each space-separated term"); attribute-level
+//! prefixing is handled one layer up in `em-entity`. Here we provide the
+//! raw splitting plus a light normalization used when *comparing* tokens
+//! (similarities should be case-insensitive and punctuation-robust).
+
+/// Splits a string on whitespace, dropping empty fragments.
+pub fn whitespace_tokens(s: &str) -> Vec<&str> {
+    s.split_whitespace().collect()
+}
+
+/// Normalizes a token for comparison: lowercases and strips leading /
+/// trailing ASCII punctuation (interior punctuation like `10.2` survives).
+pub fn normalize(token: &str) -> String {
+    token
+        .trim_matches(|c: char| c.is_ascii_punctuation())
+        .to_lowercase()
+}
+
+/// Tokenizes and normalizes, dropping tokens that normalize to empty.
+pub fn normalized_tokens(s: &str) -> Vec<String> {
+    whitespace_tokens(s)
+        .into_iter()
+        .map(normalize)
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whitespace_tokens_splits_and_drops_empties() {
+        assert_eq!(whitespace_tokens("  sony  alpha camera "), vec!["sony", "alpha", "camera"]);
+        assert!(whitespace_tokens("   ").is_empty());
+        assert!(whitespace_tokens("").is_empty());
+    }
+
+    #[test]
+    fn normalize_lowercases() {
+        assert_eq!(normalize("Sony"), "sony");
+        assert_eq!(normalize("DSLRA200W"), "dslra200w");
+    }
+
+    #[test]
+    fn normalize_strips_edge_punctuation_only() {
+        assert_eq!(normalize("(camera)"), "camera");
+        assert_eq!(normalize("10.2"), "10.2");
+        assert_eq!(normalize("'85.99,"), "85.99");
+    }
+
+    #[test]
+    fn normalize_all_punctuation_becomes_empty() {
+        assert_eq!(normalize("!!!"), "");
+    }
+
+    #[test]
+    fn normalized_tokens_filters_empties() {
+        assert_eq!(normalized_tokens("Sony - Camera !!"), vec!["sony", "camera"]);
+    }
+}

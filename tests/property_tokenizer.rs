@@ -1,0 +1,100 @@
+//! Property-based tests for the prefix tokenizer — the component the
+//! whole explanation pipeline's correctness rests on.
+
+use landmark_explanation::entity::{
+    detokenize, tokenize_entity, Entity, Schema, Token,
+};
+use landmark_explanation::entity::tokenizer::renumber;
+use proptest::prelude::*;
+
+/// Attribute values: space-separated lowercase words (possibly empty).
+fn attr_value() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-z0-9]{1,8}", 0..6).prop_map(|words| words.join(" "))
+}
+
+fn entity(n_attrs: usize) -> impl Strategy<Value = Entity> {
+    prop::collection::vec(attr_value(), n_attrs).prop_map(Entity::new)
+}
+
+proptest! {
+    #[test]
+    fn tokenize_detokenize_roundtrip(e in entity(4)) {
+        let tokens = tokenize_entity(&e);
+        let back = detokenize(&tokens, 4);
+        // Detokenization normalizes whitespace; our generator uses single
+        // spaces, so the roundtrip is exact.
+        prop_assert_eq!(back, e);
+    }
+
+    #[test]
+    fn token_count_matches_whitespace_split(e in entity(3)) {
+        let tokens = tokenize_entity(&e);
+        prop_assert_eq!(tokens.len(), e.token_count());
+    }
+
+    #[test]
+    fn occurrences_are_unique_per_attribute(e in entity(3)) {
+        let tokens = tokenize_entity(&e);
+        for a in 0..3 {
+            let mut occ: Vec<usize> =
+                tokens.iter().filter(|t| t.attribute == a).map(|t| t.occurrence).collect();
+            let n = occ.len();
+            occ.sort_unstable();
+            occ.dedup();
+            prop_assert_eq!(occ.len(), n);
+        }
+    }
+
+    #[test]
+    fn prefixed_roundtrip_for_arbitrary_tokens(
+        attr in 0usize..4,
+        occ in 0usize..100,
+        text in "[a-z0-9_.]{1,12}",
+    ) {
+        let schema = Schema::from_names(vec!["a0", "a1", "a2", "a3"]);
+        let t = Token::new(attr, occ, text);
+        let parsed = Token::parse_prefixed(&t.prefixed(&schema), &schema).expect("roundtrip");
+        prop_assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn dropping_tokens_never_adds_text(e in entity(3), drop_mask in prop::collection::vec(any::<bool>(), 0..32)) {
+        let tokens = tokenize_entity(&e);
+        let kept: Vec<Token> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !drop_mask.get(*i).copied().unwrap_or(false))
+            .map(|(_, t)| t.clone())
+            .collect();
+        let rebuilt = detokenize(&kept, 3);
+        // Every token of the rebuilt entity appears in the original value
+        // of the same attribute.
+        for a in 0..3 {
+            let original: Vec<&str> = e.value(a).split_whitespace().collect();
+            for tok in rebuilt.value(a).split_whitespace() {
+                prop_assert!(original.contains(&tok), "{} not in {:?}", tok, original);
+            }
+        }
+    }
+
+    #[test]
+    fn renumber_is_idempotent(e in entity(3)) {
+        let mut tokens = tokenize_entity(&e);
+        renumber(&mut tokens);
+        let once = tokens.clone();
+        renumber(&mut tokens);
+        prop_assert_eq!(once, tokens);
+    }
+
+    #[test]
+    fn renumber_preserves_texts_and_attributes(e in entity(3)) {
+        let original = tokenize_entity(&e);
+        let mut renumbered = original.clone();
+        renumber(&mut renumbered);
+        prop_assert_eq!(original.len(), renumbered.len());
+        for (a, b) in original.iter().zip(&renumbered) {
+            prop_assert_eq!(&a.text, &b.text);
+            prop_assert_eq!(a.attribute, b.attribute);
+        }
+    }
+}

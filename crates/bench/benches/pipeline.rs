@@ -8,8 +8,8 @@ use em_entity::{tokenize_entity, EntitySide, MatchModel};
 use em_lime::sampler::sample_masks;
 use em_lime::surrogate::{fit_surrogate, SurrogateConfig};
 use em_matchers::{LogisticMatcher, MatcherConfig};
-use landmark_core::{generate_view, reconstruct_with_landmark};
 use landmark_core::strategy::ResolvedStrategy;
+use landmark_core::{generate_view, reconstruct_with_landmark};
 
 fn bench_pipeline_stages(c: &mut Criterion) {
     let dataset = MagellanBenchmark::scaled(0.05).generate(DatasetId::SWa);

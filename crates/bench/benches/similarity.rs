@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use em_text::monge_elkan::monge_elkan_symmetric;
-use em_text::{
-    jaccard, jaro_winkler, levenshtein, qgram_cosine, TfIdfVectorizerBuilder,
-};
+use em_text::{jaccard, jaro_winkler, levenshtein, qgram_cosine, TfIdfVectorizerBuilder};
 
 const LEFT: &str = "sonix alpha digital slr camera with lens kit dslra200w";
 const RIGHT: &str = "sonix digital camera lens kit dslra200";
@@ -13,7 +11,9 @@ const RIGHT: &str = "sonix digital camera lens kit dslra200";
 fn bench_char_metrics(c: &mut Criterion) {
     c.bench_function("levenshtein", |b| b.iter(|| levenshtein(LEFT, RIGHT)));
     c.bench_function("jaro_winkler", |b| b.iter(|| jaro_winkler(LEFT, RIGHT)));
-    c.bench_function("qgram_cosine_q3", |b| b.iter(|| qgram_cosine(LEFT, RIGHT, 3)));
+    c.bench_function("qgram_cosine_q3", |b| {
+        b.iter(|| qgram_cosine(LEFT, RIGHT, 3))
+    });
 }
 
 fn bench_token_metrics(c: &mut Criterion) {
@@ -28,8 +28,9 @@ fn bench_token_metrics(c: &mut Criterion) {
 fn bench_tfidf(c: &mut Criterion) {
     let mut builder = TfIdfVectorizerBuilder::new();
     for i in 0..2000 {
-        let doc: Vec<String> =
-            (0..10).map(|j| format!("token{}", (i * 7 + j * 13) % 500)).collect();
+        let doc: Vec<String> = (0..10)
+            .map(|j| format!("token{}", (i * 7 + j * 13) % 500))
+            .collect();
         builder.add_document(&doc);
     }
     let v = builder.build();
@@ -38,5 +39,10 @@ fn bench_tfidf(c: &mut Criterion) {
     c.bench_function("tfidf_cosine", |b| b.iter(|| v.cosine(&lt, &rt)));
 }
 
-criterion_group!(benches, bench_char_metrics, bench_token_metrics, bench_tfidf);
+criterion_group!(
+    benches,
+    bench_char_metrics,
+    bench_token_metrics,
+    bench_tfidf
+);
 criterion_main!(benches);

@@ -14,7 +14,11 @@ use rand::SeedableRng;
 fn random_problem(n: usize, d: usize, seed: u64) -> (Matrix, Vec<f64>, Vec<f64>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let rows: Vec<Vec<f64>> = (0..n)
-        .map(|_| (0..d).map(|_| if rng.gen_bool(0.5) { 1.0 } else { 0.0 }).collect())
+        .map(|_| {
+            (0..d)
+                .map(|_| if rng.gen_bool(0.5) { 1.0 } else { 0.0 })
+                .collect()
+        })
         .collect();
     let beta: Vec<f64> = (0..d).map(|_| rng.gen_range(-0.5..0.5)).collect();
     let y: Vec<f64> = rows
@@ -51,7 +55,10 @@ fn bench_logistic_training(c: &mut Criterion) {
                 LogisticModel::fit(
                     &x,
                     &labels,
-                    &LogisticConfig { max_iter: 200, ..Default::default() },
+                    &LogisticConfig {
+                        max_iter: 200,
+                        ..Default::default()
+                    },
                 )
                 .unwrap()
             });

@@ -20,9 +20,15 @@ use rand::SeedableRng;
 fn main() {
     let base = bench::config_from_env();
     let id = bench::datasets_from_env()[0];
-    println!("# Ablation: kernel width (dataset {}, LIME surrogate fidelity)\n", id.short_name());
+    println!(
+        "# Ablation: kernel width (dataset {}, LIME surrogate fidelity)\n",
+        id.short_name()
+    );
 
-    let benchmark = MagellanBenchmark { scale: base.scale, ..Default::default() };
+    let benchmark = MagellanBenchmark {
+        scale: base.scale,
+        ..Default::default()
+    };
     let dataset = benchmark.generate(id);
     let (train, _) = dataset.train_test_split(&SplitConfig::default());
     let matcher = LogisticMatcher::train(&train, &MatcherConfig::default());
@@ -49,6 +55,7 @@ fn main() {
                 solver: SurrogateSolver::Ridge { lambda: 1.0 },
             },
             seed: 7,
+            parallelism: base.parallelism,
         };
         let explainer = LimeExplainer::new(cfg);
         let mut r2_sum = 0.0;
@@ -75,7 +82,12 @@ fn main() {
             errs.push((actual - (e.model_prediction - weight_sum)).abs());
         }
         let mae = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
-        println!("{:>8.2} {:>10.3} {:>10.3}", width, r2_sum / records.len() as f64, mae);
+        println!(
+            "{:>8.2} {:>10.3} {:>10.3}",
+            width,
+            r2_sum / records.len() as f64,
+            mae
+        );
     }
     println!("\nExpected: very narrow widths overweight near-identity samples (noisy fit);");
     println!("very wide widths avering over heavy perturbations (less local). The default");

@@ -12,7 +12,10 @@ use em_eval::{EvalConfig, Evaluator, Technique};
 fn main() {
     let base = bench::config_from_env();
     let id = bench::datasets_from_env()[0];
-    println!("# Ablation: perturbation budget (dataset {})\n", id.short_name());
+    println!(
+        "# Ablation: perturbation budget (dataset {})\n",
+        id.short_name()
+    );
     println!(
         "{:<8} {:<12} {:>12} {:>8} {:>8} {:>8}",
         "samples", "technique", "label", "acc", "mae", "interest"

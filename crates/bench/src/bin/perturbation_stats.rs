@@ -19,13 +19,20 @@ use em_matchers::{LogisticMatcher, MatcherConfig};
 fn main() {
     let config = bench::config_from_env();
     let datasets = bench::datasets_from_env();
-    bench::print_banner("Perturbation-neighborhood statistics (Section 1)", &config, &datasets);
+    bench::print_banner(
+        "Perturbation-neighborhood statistics (Section 1)",
+        &config,
+        &datasets,
+    );
 
     println!(
         "{:<8} {:>14} {:>14} {:>14} {:>14} {:>12}",
         "Dataset", "LIME match%", "Single match%", "Double match%", "Copy match%", "LIME null%"
     );
-    let benchmark = MagellanBenchmark { scale: config.scale, ..Default::default() };
+    let benchmark = MagellanBenchmark {
+        scale: config.scale,
+        ..Default::default()
+    };
     for id in datasets {
         let dataset = benchmark.generate(id);
         let (train, _) = dataset.train_test_split(&SplitConfig::default());

@@ -14,7 +14,10 @@ fn main() {
     let datasets = bench::datasets_from_env();
     bench::print_banner("Full reproduction report (Tables 1-4)", &config, &datasets);
 
-    let benchmark = MagellanBenchmark { scale: config.scale, ..Default::default() };
+    let benchmark = MagellanBenchmark {
+        scale: config.scale,
+        ..Default::default()
+    };
     let rows: Vec<_> = datasets
         .iter()
         .map(|&id| {

@@ -15,9 +15,15 @@ use em_matchers::{LogisticMatcher, MatcherConfig};
 fn main() {
     let config = bench::config_from_env();
     let id = bench::datasets_from_env()[0];
-    println!("# Explanation stability across seeds (dataset {})\n", id.short_name());
+    println!(
+        "# Explanation stability across seeds (dataset {})\n",
+        id.short_name()
+    );
 
-    let benchmark = MagellanBenchmark { scale: config.scale, ..Default::default() };
+    let benchmark = MagellanBenchmark {
+        scale: config.scale,
+        ..Default::default()
+    };
     let dataset = benchmark.generate(id);
     let (train, _) = dataset.train_test_split(&SplitConfig::default());
     let matcher = LogisticMatcher::train(&train, &MatcherConfig::default());

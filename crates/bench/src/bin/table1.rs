@@ -10,7 +10,10 @@ fn main() {
     let datasets = bench::datasets_from_env();
     bench::print_banner("Table 1", &config, &datasets);
 
-    let benchmark = MagellanBenchmark { scale: config.scale, ..Default::default() };
+    let benchmark = MagellanBenchmark {
+        scale: config.scale,
+        ..Default::default()
+    };
     let rows: Vec<_> = datasets
         .iter()
         .map(|&id| {
@@ -21,5 +24,7 @@ fn main() {
     println!("{}", format_table1(&rows));
     println!("Paper reference (full scale): S-BR 450/15.11, S-IA 539/24.49, S-FZ 946/11.63,");
     println!("S-DA 12363/17.96, S-DG 28707/18.63, S-AG 11460/10.18, S-WA 10242/9.39,");
-    println!("T-AB 9575/10.74, D-IA 539/24.49, D-DA 12363/17.96, D-DG 28707/18.63, D-WA 10242/9.39");
+    println!(
+        "T-AB 9575/10.74, D-IA 539/24.49, D-DA 12363/17.96, D-DG 28707/18.63, D-WA 10242/9.39"
+    );
 }

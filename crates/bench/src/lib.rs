@@ -8,14 +8,19 @@
 //!   setting);
 //! * `SAMPLES` — perturbation samples per explanation (default `500`);
 //! * `DATASETS` — comma-separated short names (e.g. `S-BR,S-IA`) to
-//!   restrict the run (default: all twelve).
+//!   restrict the run (default: all twelve);
+//! * `THREADS` — worker threads for per-record explanation (`0` = one per
+//!   core, `1` = serial; default `0`). Results are identical for any value.
 
 use em_datagen::DatasetId;
-use em_eval::EvalConfig;
+use em_eval::{EvalConfig, ParallelismConfig};
 
 /// Reads an environment variable with a fallback parse.
 fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Builds the experiment configuration from the environment.
@@ -24,6 +29,7 @@ pub fn config_from_env() -> EvalConfig {
         scale: env_or("SCALE", 0.25f64).clamp(0.001, 1.0),
         n_records_per_label: env_or("RECORDS", 100usize),
         n_samples: env_or("SAMPLES", 500usize),
+        parallelism: ParallelismConfig::with_threads(env_or("THREADS", 0usize)),
         ..Default::default()
     }
 }
@@ -37,7 +43,9 @@ pub fn datasets_from_env() -> Vec<DatasetId> {
                 .split(',')
                 .filter_map(|name| {
                     let name = name.trim().to_uppercase();
-                    DatasetId::all().into_iter().find(|id| id.short_name() == name)
+                    DatasetId::all()
+                        .into_iter()
+                        .find(|id| id.short_name() == name)
                 })
                 .collect();
             if chosen.is_empty() {
@@ -57,7 +65,11 @@ pub fn print_banner(table: &str, config: &EvalConfig, datasets: &[DatasetId]) {
         config.scale,
         config.n_records_per_label,
         config.n_samples,
-        datasets.iter().map(|d| d.short_name()).collect::<Vec<_>>().join(",")
+        datasets
+            .iter()
+            .map(|d| d.short_name())
+            .collect::<Vec<_>>()
+            .join(",")
     );
     println!("# (set SCALE=1.0 RECORDS=100 SAMPLES=500 for the full paper-scale run)\n");
 }

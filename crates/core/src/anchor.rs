@@ -30,7 +30,10 @@ pub struct LandmarkAnchorConfig {
 
 impl Default for LandmarkAnchorConfig {
     fn default() -> Self {
-        LandmarkAnchorConfig { anchor: AnchorConfig::default(), strategy: GenerationStrategy::auto() }
+        LandmarkAnchorConfig {
+            anchor: AnchorConfig::default(),
+            strategy: GenerationStrategy::auto(),
+        }
     }
 }
 
@@ -83,8 +86,7 @@ impl LandmarkAnchorExplainer {
 
         let mut rng = StdRng::seed_from_u64(self.config.anchor.seed);
         let mut anchor: Vec<usize> = Vec::new();
-        let mut best =
-            self.precision(model, schema, pair, &view, &anchor, prediction, &mut rng);
+        let mut best = self.precision(model, schema, pair, &view, &anchor, prediction, &mut rng);
         while best < self.config.anchor.precision_target
             && anchor.len() < self.config.anchor.max_anchor_size.min(view.tokens.len())
         {
@@ -211,10 +213,7 @@ mod tests {
         }
         // Landmark = Left freezes the only thing the model looks at: the
         // empty anchor is already perfectly precise.
-        let pair = EntityPair::new(
-            Entity::new(vec!["key stuff"]),
-            Entity::new(vec!["a b c"]),
-        );
+        let pair = EntityPair::new(Entity::new(vec!["key stuff"]), Entity::new(vec!["a b c"]));
         let cfg = LandmarkAnchorConfig {
             strategy: GenerationStrategy::SingleEntity,
             ..Default::default()
@@ -249,7 +248,11 @@ mod tests {
         );
         // The full concatenated view contains "key" on the right -> match.
         assert!(e.prediction);
-        let key = e.anchor.iter().find(|(t, _)| t.text == "key").expect("key anchored");
+        let key = e
+            .anchor
+            .iter()
+            .find(|(t, _)| t.text == "key")
+            .expect("key anchored");
         assert!(key.1, "the anchored key token must be the injected one");
     }
 

@@ -46,7 +46,10 @@ pub struct CounterfactualConfig {
 
 impl Default for CounterfactualConfig {
     fn default() -> Self {
-        CounterfactualConfig { threshold: 0.5, max_edits: 10 }
+        CounterfactualConfig {
+            threshold: 0.5,
+            max_edits: 10,
+        }
     }
 }
 
@@ -80,7 +83,11 @@ pub fn counterfactual<M: MatchModel>(
         .token_weights
         .iter()
         .zip(&explanation.injected)
-        .map(|(tw, &inj)| Slot { token: tw.token.clone(), weight: tw.weight, present: !inj })
+        .map(|(tw, &inj)| Slot {
+            token: tw.token.clone(),
+            weight: tw.weight,
+            present: !inj,
+        })
         .collect();
 
     // Candidate edits, best-first.
@@ -98,7 +105,11 @@ pub fn counterfactual<M: MatchModel>(
         })
         .collect();
     order.sort_by(|&a, &b| {
-        slots[b].weight.abs().partial_cmp(&slots[a].weight.abs()).expect("finite weights")
+        slots[b]
+            .weight
+            .abs()
+            .partial_cmp(&slots[a].weight.abs())
+            .expect("finite weights")
     });
 
     let rebuild = |slots: &[Slot]| -> EntityPair {
@@ -127,7 +138,11 @@ pub fn counterfactual<M: MatchModel>(
         let candidate = rebuild(&slots);
         let p = model.predict_proba(schema, &candidate);
         // Keep the edit only if it moves the probability the right way.
-        let improves = if start_class { p < probability } else { p > probability };
+        let improves = if start_class {
+            p < probability
+        } else {
+            p > probability
+        };
         if improves {
             edits.push(edit);
             record = candidate;
@@ -139,7 +154,12 @@ pub fn counterfactual<M: MatchModel>(
     }
 
     let flipped = (probability >= config.threshold) != start_class;
-    Counterfactual { edits, record, probability, flipped }
+    Counterfactual {
+        edits,
+        record,
+        probability,
+        flipped,
+    }
 }
 
 #[cfg(test)]
@@ -156,7 +176,10 @@ mod tests {
             let g = |e: &Entity| -> HashSet<String> {
                 (0..schema.len())
                     .flat_map(|i| {
-                        e.value(i).split_whitespace().map(str::to_string).collect::<Vec<_>>()
+                        e.value(i)
+                            .split_whitespace()
+                            .map(str::to_string)
+                            .collect::<Vec<_>>()
                     })
                     .collect()
             };
@@ -190,7 +213,13 @@ mod tests {
             &pair,
             EntitySide::Left,
         );
-        let cf = counterfactual(&Overlap, &schema(), &pair, &le, &CounterfactualConfig::default());
+        let cf = counterfactual(
+            &Overlap,
+            &schema(),
+            &pair,
+            &le,
+            &CounterfactualConfig::default(),
+        );
         assert!(cf.flipped, "{cf:?}");
         assert!(!cf.edits.is_empty());
         assert!(cf.probability >= 0.5);
@@ -200,10 +229,7 @@ mod tests {
 
     #[test]
     fn flips_a_match_by_removing_shared_tokens() {
-        let pair = EntityPair::new(
-            Entity::new(vec!["a b c d"]),
-            Entity::new(vec!["a b c e"]),
-        );
+        let pair = EntityPair::new(Entity::new(vec!["a b c d"]), Entity::new(vec!["a b c e"]));
         let cfg = LandmarkConfig {
             strategy: GenerationStrategy::SingleEntity,
             n_samples: 400,
@@ -215,7 +241,13 @@ mod tests {
             &pair,
             EntitySide::Left,
         );
-        let cf = counterfactual(&Overlap, &schema(), &pair, &le, &CounterfactualConfig::default());
+        let cf = counterfactual(
+            &Overlap,
+            &schema(),
+            &pair,
+            &le,
+            &CounterfactualConfig::default(),
+        );
         assert!(cf.flipped, "{cf:?}");
         assert!(cf.probability < 0.5);
         assert!(cf.edits.iter().all(|e| matches!(e, Edit::Remove(_))));
@@ -243,7 +275,10 @@ mod tests {
             &schema(),
             &pair,
             &le,
-            &CounterfactualConfig { max_edits: 2, ..Default::default() },
+            &CounterfactualConfig {
+                max_edits: 2,
+                ..Default::default()
+            },
         );
         assert!(cf.edits.len() <= 2);
     }
@@ -265,7 +300,13 @@ mod tests {
             &pair,
             EntitySide::Left,
         );
-        let cf = counterfactual(&Overlap, &schema(), &pair, &le, &CounterfactualConfig::default());
+        let cf = counterfactual(
+            &Overlap,
+            &schema(),
+            &pair,
+            &le,
+            &CounterfactualConfig::default(),
+        );
         // Removing the only shared token flips it.
         assert!(cf.flipped);
         assert_eq!(cf.edits.len(), 1);

@@ -4,6 +4,7 @@ use em_entity::{EntityPair, EntitySide, MatchModel, Schema};
 use em_lime::explanation::{PairExplanation, TokenWeight};
 use em_lime::sampler::MaskSampler;
 use em_lime::surrogate::{fit_surrogate, SurrogateConfig};
+use em_par::ParallelismConfig;
 
 use crate::generation::generate_view;
 use crate::reconstruction::reconstruct_with_landmark;
@@ -20,6 +21,11 @@ pub struct LandmarkConfig {
     pub surrogate: SurrogateConfig,
     /// RNG seed for mask sampling.
     pub seed: u64,
+    /// How to spread reconstruction scoring across threads. Mask sampling
+    /// stays serial (it drives the RNG stream); only the model's batch
+    /// scoring — the hot path — fans out, so any setting produces
+    /// bit-identical explanations.
+    pub parallelism: ParallelismConfig,
 }
 
 impl Default for LandmarkConfig {
@@ -29,6 +35,7 @@ impl Default for LandmarkConfig {
             strategy: GenerationStrategy::auto(),
             surrogate: SurrogateConfig::default(),
             seed: 0,
+            parallelism: ParallelismConfig::serial(),
         }
     }
 }
@@ -120,7 +127,7 @@ impl LandmarkExplainer {
     }
 
     /// Produces the two landmark explanations for a record.
-    pub fn explain<M: MatchModel>(
+    pub fn explain<M: MatchModel + Sync>(
         &self,
         model: &M,
         schema: &Schema,
@@ -133,7 +140,7 @@ impl LandmarkExplainer {
     }
 
     /// Produces one explanation with `landmark` frozen.
-    pub fn explain_with_landmark<M: MatchModel>(
+    pub fn explain_with_landmark<M: MatchModel + Sync>(
         &self,
         model: &M,
         schema: &Schema,
@@ -146,23 +153,28 @@ impl LandmarkExplainer {
 
         // Seed differs per landmark so the two explanations don't share
         // masks, matching two independent explainer runs.
-        let seed = self.config.seed ^ match landmark {
-            EntitySide::Left => 0x9E37_79B9_7F4A_7C15,
-            EntitySide::Right => 0xD1B5_4A32_D192_ED03,
-        };
+        let seed = self.config.seed
+            ^ match landmark {
+                EntitySide::Left => 0x9E37_79B9_7F4A_7C15,
+                EntitySide::Right => 0xD1B5_4A32_D192_ED03,
+            };
         let masks = MaskSampler::new(seed).sample(view.tokens.len(), self.config.n_samples);
         let reconstructed: Vec<EntityPair> = masks
             .iter()
             .map(|mask| reconstruct_with_landmark(pair, &view, mask, schema.len()))
             .collect();
-        let probs = model.predict_proba_batch(schema, &reconstructed);
+        let probs = model.par_predict_proba_batch(schema, &reconstructed, &self.config.parallelism);
         let fit = fit_surrogate(&masks, &probs, &self.config.surrogate);
 
         let token_weights: Vec<TokenWeight> = view
             .tokens
             .iter()
             .zip(&fit.coefficients)
-            .map(|(token, &weight)| TokenWeight { side: view.varying, token: token.clone(), weight })
+            .map(|(token, &weight)| TokenWeight {
+                side: view.varying,
+                token: token.clone(),
+                weight,
+            })
             .collect();
         let surrogate_prediction = match strategy {
             // The surrogate's "original record" is the all-ones mask only
@@ -212,7 +224,10 @@ mod tests {
             let collect = |e: &Entity| -> HashSet<String> {
                 (0..schema.len())
                     .flat_map(|i| {
-                        e.value(i).split_whitespace().map(str::to_string).collect::<Vec<_>>()
+                        e.value(i)
+                            .split_whitespace()
+                            .map(str::to_string)
+                            .collect::<Vec<_>>()
                     })
                     .collect()
             };
@@ -265,7 +280,10 @@ mod tests {
 
     #[test]
     fn single_entity_weights_cover_only_varying_tokens() {
-        let cfg = LandmarkConfig { strategy: GenerationStrategy::SingleEntity, ..Default::default() };
+        let cfg = LandmarkConfig {
+            strategy: GenerationStrategy::SingleEntity,
+            ..Default::default()
+        };
         let e = LandmarkExplainer::new(cfg).explain_with_landmark(
             &JaccardModel,
             &schema(),
@@ -275,7 +293,11 @@ mod tests {
         // Varying = right entity: 5 tokens.
         assert_eq!(e.explanation.token_weights.len(), 5);
         assert!(e.injected.iter().all(|&b| !b));
-        assert!(e.explanation.token_weights.iter().all(|t| t.side == EntitySide::Right));
+        assert!(e
+            .explanation
+            .token_weights
+            .iter()
+            .all(|t| t.side == EntitySide::Right));
     }
 
     #[test]
@@ -304,7 +326,10 @@ mod tests {
 
     #[test]
     fn double_entity_marks_injected_tokens() {
-        let cfg = LandmarkConfig { strategy: GenerationStrategy::DoubleEntity, ..Default::default() };
+        let cfg = LandmarkConfig {
+            strategy: GenerationStrategy::DoubleEntity,
+            ..Default::default()
+        };
         let e = LandmarkExplainer::new(cfg).explain_with_landmark(
             &JaccardModel,
             &schema(),
@@ -338,7 +363,10 @@ mod tests {
         let injected = e.injected_token_weights();
         let mean_injected: f64 =
             injected.iter().map(|t| t.weight).sum::<f64>() / injected.len() as f64;
-        assert!(mean_injected > 0.0, "injected tokens should push towards match");
+        assert!(
+            mean_injected > 0.0,
+            "injected tokens should push towards match"
+        );
         // Original right-entity tokens dilute the overlap: mean weight below
         // the injected tokens'.
         let original = e.original_token_weights();
@@ -349,7 +377,10 @@ mod tests {
 
     #[test]
     fn model_prediction_is_for_the_original_record_even_under_double() {
-        let cfg = LandmarkConfig { strategy: GenerationStrategy::DoubleEntity, ..Default::default() };
+        let cfg = LandmarkConfig {
+            strategy: GenerationStrategy::DoubleEntity,
+            ..Default::default()
+        };
         let pair = non_matching_pair();
         let e = LandmarkExplainer::new(cfg).explain_with_landmark(
             &JaccardModel,
@@ -366,10 +397,7 @@ mod tests {
         let d = LandmarkExplainer::default().explain(&JaccardModel, &schema(), &matching_pair());
         // The two explanations are over different token sets but even their
         // weights should not be mirror-identical.
-        assert_ne!(
-            d.left_landmark.explanation.token_weights.len(),
-            0
-        );
+        assert_ne!(d.left_landmark.explanation.token_weights.len(), 0);
         assert_ne!(
             d.left_landmark.explanation.token_weights,
             d.right_landmark.explanation.token_weights
@@ -381,7 +409,10 @@ mod tests {
         let ex = LandmarkExplainer::default();
         let a = ex.explain(&JaccardModel, &schema(), &non_matching_pair());
         let b = ex.explain(&JaccardModel, &schema(), &non_matching_pair());
-        assert_eq!(a.left_landmark.explanation.token_weights, b.left_landmark.explanation.token_weights);
+        assert_eq!(
+            a.left_landmark.explanation.token_weights,
+            b.left_landmark.explanation.token_weights
+        );
         assert_eq!(
             a.right_landmark.explanation.token_weights,
             b.right_landmark.explanation.token_weights
@@ -391,7 +422,10 @@ mod tests {
     #[test]
     fn empty_varying_side_does_not_panic() {
         let p = EntityPair::new(Entity::new(vec!["sony", "1"]), Entity::new(vec!["", ""]));
-        let cfg = LandmarkConfig { strategy: GenerationStrategy::SingleEntity, ..Default::default() };
+        let cfg = LandmarkConfig {
+            strategy: GenerationStrategy::SingleEntity,
+            ..Default::default()
+        };
         let e = LandmarkExplainer::new(cfg).explain_with_landmark(
             &JaccardModel,
             &schema(),

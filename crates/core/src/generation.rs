@@ -48,7 +48,11 @@ impl VaryingView {
 }
 
 /// Generates the varying view of `pair` with `landmark` frozen.
-pub fn generate_view(pair: &EntityPair, landmark: EntitySide, strategy: ResolvedStrategy) -> VaryingView {
+pub fn generate_view(
+    pair: &EntityPair,
+    landmark: EntitySide,
+    strategy: ResolvedStrategy,
+) -> VaryingView {
     let varying = landmark.other();
     let own_tokens = tokenize_entity(pair.entity(varying));
     let (mut tokens, injected) = match strategy {
@@ -79,7 +83,12 @@ pub fn generate_view(pair: &EntityPair, landmark: EntitySide, strategy: Resolved
         }
     };
     em_entity::tokenizer::renumber(&mut tokens);
-    VaryingView { landmark, varying, tokens, injected }
+    VaryingView {
+        landmark,
+        varying,
+        tokens,
+        injected,
+    }
 }
 
 #[cfg(test)]
@@ -118,8 +127,14 @@ mod tests {
         let texts: Vec<&str> = v.tokens.iter().map(|t| t.text.as_str()).collect();
         // Attribute 0: varying (nikon case 5811) then landmark (sony camera);
         // attribute 1: varying (7.99) then landmark (849.99).
-        assert_eq!(texts, vec!["nikon", "case", "5811", "sony", "camera", "7.99", "849.99"]);
-        assert_eq!(v.injected, vec![false, false, false, true, true, false, true]);
+        assert_eq!(
+            texts,
+            vec!["nikon", "case", "5811", "sony", "camera", "7.99", "849.99"]
+        );
+        assert_eq!(
+            v.injected,
+            vec![false, false, false, true, true, false, true]
+        );
         assert_eq!(v.injected_count(), 3);
     }
 
@@ -127,8 +142,12 @@ mod tests {
     fn double_entity_occurrences_are_renumbered() {
         let v = generate_view(&pair(), EntitySide::Left, ResolvedStrategy::DoubleEntity);
         // All attribute-0 tokens must have distinct occurrence indices.
-        let occ: Vec<usize> =
-            v.tokens.iter().filter(|t| t.attribute == 0).map(|t| t.occurrence).collect();
+        let occ: Vec<usize> = v
+            .tokens
+            .iter()
+            .filter(|t| t.attribute == 0)
+            .map(|t| t.occurrence)
+            .collect();
         assert_eq!(occ, vec![0, 1, 2, 3, 4]);
     }
 

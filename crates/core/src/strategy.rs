@@ -59,8 +59,14 @@ mod tests {
 
     #[test]
     fn fixed_strategies_resolve_to_themselves() {
-        assert_eq!(GenerationStrategy::SingleEntity.resolve(0.0), ResolvedStrategy::SingleEntity);
-        assert_eq!(GenerationStrategy::DoubleEntity.resolve(1.0), ResolvedStrategy::DoubleEntity);
+        assert_eq!(
+            GenerationStrategy::SingleEntity.resolve(0.0),
+            ResolvedStrategy::SingleEntity
+        );
+        assert_eq!(
+            GenerationStrategy::DoubleEntity.resolve(1.0),
+            ResolvedStrategy::DoubleEntity
+        );
     }
 
     #[test]

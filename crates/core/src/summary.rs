@@ -70,7 +70,11 @@ pub fn summarize(
     let mut aggregates: Vec<TokenAggregate> = token_stats
         .into_iter()
         .filter(|(_, (count, _))| *count >= min_count)
-        .map(|(key, (count, sum))| TokenAggregate { key, count, mean_weight: sum / count as f64 })
+        .map(|(key, (count, sum))| TokenAggregate {
+            key,
+            count,
+            mean_weight: sum / count as f64,
+        })
         .collect();
     aggregates.sort_by(|a, b| {
         b.mean_weight
@@ -78,10 +82,15 @@ pub fn summarize(
             .expect("finite weights")
             .then_with(|| a.key.cmp(&b.key))
     });
-    let match_tokens: Vec<TokenAggregate> =
-        aggregates.iter().filter(|a| a.mean_weight > 0.0).cloned().collect();
-    let mut non_match_tokens: Vec<TokenAggregate> =
-        aggregates.into_iter().filter(|a| a.mean_weight < 0.0).collect();
+    let match_tokens: Vec<TokenAggregate> = aggregates
+        .iter()
+        .filter(|a| a.mean_weight > 0.0)
+        .cloned()
+        .collect();
+    let mut non_match_tokens: Vec<TokenAggregate> = aggregates
+        .into_iter()
+        .filter(|a| a.mean_weight < 0.0)
+        .collect();
     non_match_tokens.reverse();
 
     ExplanationSummary {
@@ -159,7 +168,12 @@ mod tests {
 
     #[test]
     fn match_and_non_match_lists_are_ordered() {
-        let a = le(vec![(0, "good", 0.5), (0, "better", 0.9), (0, "bad", -0.3), (0, "worse", -0.8)]);
+        let a = le(vec![
+            (0, "good", 0.5),
+            (0, "better", 0.9),
+            (0, "bad", -0.3),
+            (0, "worse", -0.8),
+        ]);
         let s = summarize(&schema(), &[&a], 1);
         assert_eq!(s.match_tokens[0].key, "name/better");
         assert_eq!(s.non_match_tokens[0].key, "name/worse");

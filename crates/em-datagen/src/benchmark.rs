@@ -110,7 +110,13 @@ impl DatasetId {
             DatasetId::DDg => (DomainKind::CitationScholar, 28_707, 18.63, true),
             DatasetId::DWa => (DomainKind::ProductWalmart, 10_242, 9.39, true),
         };
-        DatasetSpec { id: self, domain, size, match_pct, dirty }
+        DatasetSpec {
+            id: self,
+            domain,
+            size,
+            match_pct,
+            dirty,
+        }
     }
 }
 
@@ -140,7 +146,10 @@ pub struct MagellanBenchmark {
 
 impl Default for MagellanBenchmark {
     fn default() -> Self {
-        MagellanBenchmark { seed: 0xEDB7_2021, scale: 1.0 }
+        MagellanBenchmark {
+            seed: 0xEDB7_2021,
+            scale: 1.0,
+        }
     }
 }
 
@@ -148,7 +157,10 @@ impl MagellanBenchmark {
     /// A benchmark scaled down for tests / quick runs.
     pub fn scaled(scale: f64) -> Self {
         assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
-        MagellanBenchmark { scale, ..Default::default() }
+        MagellanBenchmark {
+            scale,
+            ..Default::default()
+        }
     }
 
     /// Generates one dataset.
@@ -167,7 +179,10 @@ impl MagellanBenchmark {
 
     /// Generates all twelve datasets in Table 1 order.
     pub fn generate_all(&self) -> Vec<EmDataset> {
-        DatasetId::all().iter().map(|&id| self.generate(id)).collect()
+        DatasetId::all()
+            .iter()
+            .map(|&id| self.generate(id))
+            .collect()
     }
 }
 
@@ -207,7 +222,11 @@ mod tests {
         assert_eq!(d.name(), "S-BR");
         assert_eq!(d.len(), 45);
         // Match percentage within a couple of points of Table 1 (rounding).
-        assert!((d.match_percentage() - 15.11).abs() < 3.0, "{}", d.match_percentage());
+        assert!(
+            (d.match_percentage() - 15.11).abs() < 3.0,
+            "{}",
+            d.match_percentage()
+        );
     }
 
     #[test]
@@ -231,7 +250,10 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let b = MagellanBenchmark::scaled(0.05);
-        assert_eq!(b.generate(DatasetId::SFz).records(), b.generate(DatasetId::SFz).records());
+        assert_eq!(
+            b.generate(DatasetId::SFz).records(),
+            b.generate(DatasetId::SFz).records()
+        );
     }
 
     #[test]

@@ -22,13 +22,23 @@ pub struct NoiseConfig {
 
 impl Default for NoiseConfig {
     fn default() -> Self {
-        NoiseConfig { drop_prob: 0.18, swap_prob: 0.25, typo_prob: 0.08, numeric_jitter: 0.02 }
+        NoiseConfig {
+            drop_prob: 0.18,
+            swap_prob: 0.25,
+            typo_prob: 0.08,
+            numeric_jitter: 0.02,
+        }
     }
 }
 
 /// Derives a noisy variant of `entity` — the "other source's description"
 /// of the same real-world entity, as in a Magellan matching pair.
-pub fn make_variant(entity: &Entity, schema: &Schema, noise: &NoiseConfig, rng: &mut StdRng) -> Entity {
+pub fn make_variant(
+    entity: &Entity,
+    schema: &Schema,
+    noise: &NoiseConfig,
+    rng: &mut StdRng,
+) -> Entity {
     let mut out = Entity::empty(schema.len());
     for idx in 0..schema.len() {
         let value = entity.value(idx);
@@ -63,7 +73,13 @@ fn noisy_text(value: &str, noise: &NoiseConfig, rng: &mut StdRng) -> String {
         }
     }
     if kept.is_empty() {
-        kept.push(value.split_whitespace().next().expect("non-empty").to_string());
+        kept.push(
+            value
+                .split_whitespace()
+                .next()
+                .expect("non-empty")
+                .to_string(),
+        );
     }
     // Swap an adjacent pair.
     if kept.len() >= 2 && rng.gen_bool(noise.swap_prob) {
@@ -121,7 +137,11 @@ pub fn make_dirty(entity: &Entity, schema: &Schema, move_prob: f64, rng: &mut St
         }
         let moved = out.value(idx).to_string();
         let existing = out.value(0).to_string();
-        let combined = if existing.is_empty() { moved } else { format!("{existing} {moved}") };
+        let combined = if existing.is_empty() {
+            moved
+        } else {
+            format!("{existing} {moved}")
+        };
         out.set_value(0, combined);
         out.set_value(idx, "");
     }
@@ -136,9 +156,18 @@ mod tests {
     fn schema() -> Schema {
         use em_entity::schema::Attribute;
         Schema::new(vec![
-            Attribute { name: "name".into(), kind: AttributeKind::Name },
-            Attribute { name: "price".into(), kind: AttributeKind::Numeric },
-            Attribute { name: "code".into(), kind: AttributeKind::Code },
+            Attribute {
+                name: "name".into(),
+                kind: AttributeKind::Name,
+            },
+            Attribute {
+                name: "price".into(),
+                kind: AttributeKind::Numeric,
+            },
+            Attribute {
+                name: "code".into(),
+                kind: AttributeKind::Code,
+            },
         ])
     }
 
@@ -156,7 +185,10 @@ mod tests {
     #[test]
     fn variant_keeps_at_least_one_token_per_attribute() {
         let mut rng = StdRng::seed_from_u64(1);
-        let heavy = NoiseConfig { drop_prob: 0.95, ..Default::default() };
+        let heavy = NoiseConfig {
+            drop_prob: 0.95,
+            ..Default::default()
+        };
         for _ in 0..50 {
             let v = make_variant(&entity(), &schema(), &heavy, &mut rng);
             assert!(!v.value(0).is_empty());
@@ -192,7 +224,12 @@ mod tests {
     #[test]
     fn zero_noise_is_identity_for_text_and_numeric_shape() {
         let mut rng = StdRng::seed_from_u64(4);
-        let none = NoiseConfig { drop_prob: 0.0, swap_prob: 0.0, typo_prob: 0.0, numeric_jitter: 0.0 };
+        let none = NoiseConfig {
+            drop_prob: 0.0,
+            swap_prob: 0.0,
+            typo_prob: 0.0,
+            numeric_jitter: 0.0,
+        };
         let v = make_variant(&entity(), &schema(), &none, &mut rng);
         assert_eq!(v, entity());
     }

@@ -60,7 +60,10 @@ impl Domain {
 
     /// The domain's schema.
     pub fn schema(&self) -> Schema {
-        let attr = |name: &str, kind: AttributeKind| Attribute { name: name.into(), kind };
+        let attr = |name: &str, kind: AttributeKind| Attribute {
+            name: name.into(),
+            kind,
+        };
         match self.kind {
             DomainKind::Beer => Schema::new(vec![
                 attr("beer_name", AttributeKind::Name),
@@ -122,12 +125,21 @@ impl Domain {
                     draw_one(rng, BREWERY_WORDS)
                 );
                 let abv = format!("{:.1}", rng.gen_range(3.5..12.0));
-                Entity::new(vec![format!("{name} {style}"), brewery, style.to_string(), abv])
+                Entity::new(vec![
+                    format!("{name} {style}"),
+                    brewery,
+                    style.to_string(),
+                    abv,
+                ])
             }
             DomainKind::Music => {
                 let k = rng.gen_range(2..=4);
                 let song = draw_distinct(rng, MUSIC_WORDS, k).join(" ");
-                let artist = format!("{} {}", draw_one(rng, FIRST_NAMES), draw_one(rng, LAST_NAMES));
+                let artist = format!(
+                    "{} {}",
+                    draw_one(rng, FIRST_NAMES),
+                    draw_one(rng, LAST_NAMES)
+                );
                 let ka = rng.gen_range(1..=3);
                 let album = draw_distinct(rng, MUSIC_WORDS, ka).join(" ");
                 let genre = draw_one(rng, GENRES).to_string();
@@ -153,7 +165,13 @@ impl Domain {
                 let title = draw_distinct(rng, PAPER_WORDS, title_len).join(" ");
                 let n_authors = rng.gen_range(1..=3);
                 let authors = (0..n_authors)
-                    .map(|_| format!("{} {}", draw_one(rng, FIRST_NAMES), draw_one(rng, LAST_NAMES)))
+                    .map(|_| {
+                        format!(
+                            "{} {}",
+                            draw_one(rng, FIRST_NAMES),
+                            draw_one(rng, LAST_NAMES)
+                        )
+                    })
                     .collect::<Vec<_>>()
                     .join(" ");
                 let venue = draw_one(rng, VENUES).to_string();
@@ -173,8 +191,13 @@ impl Domain {
                 let code = draw_code(rng);
                 let ka = rng.gen_range(1..=2);
                 let adjectives = draw_distinct(rng, PRODUCT_ADJECTIVES, ka).join(" ");
-                let title =
-                    format!("{} {} {} {}", brand, adjectives, draw_one(rng, PRODUCT_NOUNS), code);
+                let title = format!(
+                    "{} {} {} {}",
+                    brand,
+                    adjectives,
+                    draw_one(rng, PRODUCT_NOUNS),
+                    code
+                );
                 let category = draw_one(rng, CATEGORIES).to_string();
                 let price = draw_price(rng, 5.0, 1500.0);
                 Entity::new(vec![title, category, brand.to_string(), code, price])

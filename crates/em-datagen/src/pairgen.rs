@@ -78,7 +78,10 @@ impl PairGenerator {
             } else {
                 self.distinct_entity(&left, &mut rng)
             };
-            records.push(LabeledPair::new(self.finish_pair(left, right, &mut rng), false));
+            records.push(LabeledPair::new(
+                self.finish_pair(left, right, &mut rng),
+                false,
+            ));
         }
 
         // Interleave classes deterministically so prefixes of the dataset
@@ -138,7 +141,11 @@ mod tests {
     fn generator(size: usize, match_fraction: f64) -> PairGenerator {
         PairGenerator::new(
             Domain::new(DomainKind::ProductWalmart),
-            GeneratorConfig { size, match_fraction, ..Default::default() },
+            GeneratorConfig {
+                size,
+                match_fraction,
+                ..Default::default()
+            },
         )
     }
 
@@ -160,11 +167,19 @@ mod tests {
     fn different_seeds_give_different_data() {
         let g1 = PairGenerator::new(
             Domain::new(DomainKind::Beer),
-            GeneratorConfig { size: 50, seed: 1, ..Default::default() },
+            GeneratorConfig {
+                size: 50,
+                seed: 1,
+                ..Default::default()
+            },
         );
         let g2 = PairGenerator::new(
             Domain::new(DomainKind::Beer),
-            GeneratorConfig { size: 50, seed: 2, ..Default::default() },
+            GeneratorConfig {
+                size: 50,
+                seed: 2,
+                ..Default::default()
+            },
         );
         assert_ne!(g1.generate("x").records(), g2.generate("x").records());
     }
@@ -174,10 +189,8 @@ mod tests {
         let d = generator(400, 0.25).generate("t");
         let overlap = |p: &EntityPair| -> f64 {
             use std::collections::HashSet;
-            let a: HashSet<&str> =
-                p.left.values().flat_map(str::split_whitespace).collect();
-            let b: HashSet<&str> =
-                p.right.values().flat_map(str::split_whitespace).collect();
+            let a: HashSet<&str> = p.left.values().flat_map(str::split_whitespace).collect();
+            let b: HashSet<&str> = p.right.values().flat_map(str::split_whitespace).collect();
             if a.is_empty() && b.is_empty() {
                 return 0.0;
             }
@@ -209,10 +222,18 @@ mod tests {
         let mut any_shared = 0;
         for r in d.records() {
             use std::collections::HashSet;
-            let a: HashSet<&str> =
-                r.pair.left.values().flat_map(str::split_whitespace).collect();
-            let b: HashSet<&str> =
-                r.pair.right.values().flat_map(str::split_whitespace).collect();
+            let a: HashSet<&str> = r
+                .pair
+                .left
+                .values()
+                .flat_map(str::split_whitespace)
+                .collect();
+            let b: HashSet<&str> = r
+                .pair
+                .right
+                .values()
+                .flat_map(str::split_whitespace)
+                .collect();
             if a.intersection(&b).count() > 0 {
                 any_shared += 1;
             }
@@ -222,7 +243,11 @@ mod tests {
 
     #[test]
     fn dirty_config_produces_misplaced_values() {
-        let cfg = GeneratorConfig { size: 100, dirty_move_prob: 0.5, ..Default::default() };
+        let cfg = GeneratorConfig {
+            size: 100,
+            dirty_move_prob: 0.5,
+            ..Default::default()
+        };
         let dirty = PairGenerator::new(Domain::new(DomainKind::Music), cfg).generate("d");
         // At least one record should have an empty attribute whose value
         // moved elsewhere.

@@ -12,138 +12,362 @@ use rand::Rng;
 
 /// Brand-like proper names (shared across product domains).
 pub const BRANDS: &[&str] = &[
-    "sonix", "nikor", "canox", "lumax", "pentar", "olympa", "fujira", "kodar",
-    "samsun", "philip", "toshiva", "panasor", "sharpe", "vizior", "hitach",
-    "lenova", "dellux", "asuso", "acerin", "msight", "razeri", "logitek",
-    "corsair", "kingsto", "seagat", "westdig", "sandis", "belkin", "netgea",
-    "linksy", "garmix", "tomtom", "fitbix", "polaro", "leicas", "zeisso",
+    "sonix", "nikor", "canox", "lumax", "pentar", "olympa", "fujira", "kodar", "samsun", "philip",
+    "toshiva", "panasor", "sharpe", "vizior", "hitach", "lenova", "dellux", "asuso", "acerin",
+    "msight", "razeri", "logitek", "corsair", "kingsto", "seagat", "westdig", "sandis", "belkin",
+    "netgea", "linksy", "garmix", "tomtom", "fitbix", "polaro", "leicas", "zeisso",
 ];
 
 /// Generic product nouns.
 pub const PRODUCT_NOUNS: &[&str] = &[
-    "camera", "lens", "case", "tripod", "battery", "charger", "adapter",
-    "cable", "monitor", "keyboard", "mouse", "speaker", "headphone",
-    "printer", "scanner", "router", "drive", "memory", "card", "flash",
-    "player", "phone", "tablet", "laptop", "desktop", "projector", "remote",
-    "dock", "stand", "mount", "bag", "strap", "filter", "hood", "kit",
+    "camera",
+    "lens",
+    "case",
+    "tripod",
+    "battery",
+    "charger",
+    "adapter",
+    "cable",
+    "monitor",
+    "keyboard",
+    "mouse",
+    "speaker",
+    "headphone",
+    "printer",
+    "scanner",
+    "router",
+    "drive",
+    "memory",
+    "card",
+    "flash",
+    "player",
+    "phone",
+    "tablet",
+    "laptop",
+    "desktop",
+    "projector",
+    "remote",
+    "dock",
+    "stand",
+    "mount",
+    "bag",
+    "strap",
+    "filter",
+    "hood",
+    "kit",
 ];
 
 /// Product adjectives / qualifiers.
 pub const PRODUCT_ADJECTIVES: &[&str] = &[
-    "digital", "wireless", "portable", "compact", "professional", "premium",
-    "ultra", "mini", "slim", "rugged", "waterproof", "bluetooth", "optical",
-    "zoom", "hd", "4k", "stereo", "gaming", "ergonomic", "rechargeable",
-    "leather", "black", "silver", "white", "red", "blue", "deluxe",
+    "digital",
+    "wireless",
+    "portable",
+    "compact",
+    "professional",
+    "premium",
+    "ultra",
+    "mini",
+    "slim",
+    "rugged",
+    "waterproof",
+    "bluetooth",
+    "optical",
+    "zoom",
+    "hd",
+    "4k",
+    "stereo",
+    "gaming",
+    "ergonomic",
+    "rechargeable",
+    "leather",
+    "black",
+    "silver",
+    "white",
+    "red",
+    "blue",
+    "deluxe",
 ];
 
 /// Beer name words.
 pub const BEER_WORDS: &[&str] = &[
-    "hoppy", "golden", "amber", "dark", "imperial", "double", "session",
-    "wild", "sour", "barrel", "aged", "dry", "hazy", "crisp", "old",
-    "river", "mountain", "valley", "harbor", "ghost", "iron", "copper",
-    "raven", "fox", "bear", "eagle", "wolf", "moon", "sun", "winter",
-    "summer", "autumn", "midnight", "morning", "rustic", "velvet",
+    "hoppy", "golden", "amber", "dark", "imperial", "double", "session", "wild", "sour", "barrel",
+    "aged", "dry", "hazy", "crisp", "old", "river", "mountain", "valley", "harbor", "ghost",
+    "iron", "copper", "raven", "fox", "bear", "eagle", "wolf", "moon", "sun", "winter", "summer",
+    "autumn", "midnight", "morning", "rustic", "velvet",
 ];
 
 /// Beer styles (deliberately few: heavy overlap between entities).
 pub const BEER_STYLES: &[&str] = &[
-    "ipa", "stout", "porter", "lager", "pilsner", "ale", "saison", "witbier",
-    "dubbel", "tripel", "barleywine", "kolsch", "gose", "bock",
+    "ipa",
+    "stout",
+    "porter",
+    "lager",
+    "pilsner",
+    "ale",
+    "saison",
+    "witbier",
+    "dubbel",
+    "tripel",
+    "barleywine",
+    "kolsch",
+    "gose",
+    "bock",
 ];
 
 /// Brewery name words.
 pub const BREWERY_WORDS: &[&str] = &[
-    "brewing", "brewery", "brewhouse", "beerworks", "craft", "united",
-    "county", "city", "creek", "bridge", "station", "mill", "forge",
-    "anchor", "crown", "royal", "national", "pacific", "atlantic",
+    "brewing",
+    "brewery",
+    "brewhouse",
+    "beerworks",
+    "craft",
+    "united",
+    "county",
+    "city",
+    "creek",
+    "bridge",
+    "station",
+    "mill",
+    "forge",
+    "anchor",
+    "crown",
+    "royal",
+    "national",
+    "pacific",
+    "atlantic",
 ];
 
 /// First names for artists / authors.
 pub const FIRST_NAMES: &[&str] = &[
-    "james", "maria", "david", "elena", "marco", "sofia", "lucas", "emma",
-    "noah", "olivia", "liam", "ava", "ethan", "mia", "aiden", "zoe",
-    "carlos", "nina", "pavel", "anya", "hiro", "yuki", "omar", "leila",
-    "pierre", "claire", "diego", "lucia", "ivan", "petra",
+    "james", "maria", "david", "elena", "marco", "sofia", "lucas", "emma", "noah", "olivia",
+    "liam", "ava", "ethan", "mia", "aiden", "zoe", "carlos", "nina", "pavel", "anya", "hiro",
+    "yuki", "omar", "leila", "pierre", "claire", "diego", "lucia", "ivan", "petra",
 ];
 
 /// Last names for artists / authors.
 pub const LAST_NAMES: &[&str] = &[
-    "smith", "garcia", "rossi", "mueller", "tanaka", "kim", "patel",
-    "ivanov", "santos", "dubois", "larsen", "novak", "kowalski", "haddad",
-    "okafor", "nguyen", "silva", "costa", "weber", "moreau", "jansen",
-    "bergman", "ricci", "fontana", "vargas", "romero", "keller", "brandt",
+    "smith", "garcia", "rossi", "mueller", "tanaka", "kim", "patel", "ivanov", "santos", "dubois",
+    "larsen", "novak", "kowalski", "haddad", "okafor", "nguyen", "silva", "costa", "weber",
+    "moreau", "jansen", "bergman", "ricci", "fontana", "vargas", "romero", "keller", "brandt",
 ];
 
 /// Words for song / album titles.
 pub const MUSIC_WORDS: &[&str] = &[
-    "love", "night", "dream", "fire", "rain", "heart", "shadow", "light",
-    "dance", "summer", "broken", "golden", "electric", "silent", "wild",
-    "forever", "yesterday", "tomorrow", "paradise", "horizon", "echo",
-    "gravity", "neon", "velvet", "crystal", "thunder", "whisper", "mirror",
+    "love",
+    "night",
+    "dream",
+    "fire",
+    "rain",
+    "heart",
+    "shadow",
+    "light",
+    "dance",
+    "summer",
+    "broken",
+    "golden",
+    "electric",
+    "silent",
+    "wild",
+    "forever",
+    "yesterday",
+    "tomorrow",
+    "paradise",
+    "horizon",
+    "echo",
+    "gravity",
+    "neon",
+    "velvet",
+    "crystal",
+    "thunder",
+    "whisper",
+    "mirror",
 ];
 
 /// Music genres (small pool: heavy overlap).
 pub const GENRES: &[&str] = &[
-    "pop", "rock", "jazz", "blues", "country", "electronic", "hip-hop",
-    "classical", "folk", "indie", "metal", "soul",
+    "pop",
+    "rock",
+    "jazz",
+    "blues",
+    "country",
+    "electronic",
+    "hip-hop",
+    "classical",
+    "folk",
+    "indie",
+    "metal",
+    "soul",
 ];
 
 /// Restaurant name words.
 pub const RESTAURANT_WORDS: &[&str] = &[
-    "golden", "dragon", "olive", "garden", "blue", "plate", "corner",
-    "bistro", "grill", "kitchen", "table", "house", "villa", "palace",
-    "tavern", "cantina", "trattoria", "brasserie", "diner", "cafe",
-    "harvest", "ember", "saffron", "basil", "pepper", "honey", "maple",
+    "golden",
+    "dragon",
+    "olive",
+    "garden",
+    "blue",
+    "plate",
+    "corner",
+    "bistro",
+    "grill",
+    "kitchen",
+    "table",
+    "house",
+    "villa",
+    "palace",
+    "tavern",
+    "cantina",
+    "trattoria",
+    "brasserie",
+    "diner",
+    "cafe",
+    "harvest",
+    "ember",
+    "saffron",
+    "basil",
+    "pepper",
+    "honey",
+    "maple",
 ];
 
 /// Cuisine types.
 pub const CUISINES: &[&str] = &[
-    "italian", "french", "chinese", "japanese", "mexican", "thai", "indian",
-    "american", "mediterranean", "korean", "spanish", "greek",
+    "italian",
+    "french",
+    "chinese",
+    "japanese",
+    "mexican",
+    "thai",
+    "indian",
+    "american",
+    "mediterranean",
+    "korean",
+    "spanish",
+    "greek",
 ];
 
 /// Cities.
 pub const CITIES: &[&str] = &[
-    "new york", "los angeles", "chicago", "houston", "phoenix", "seattle",
-    "denver", "boston", "atlanta", "miami", "portland", "austin",
+    "new york",
+    "los angeles",
+    "chicago",
+    "houston",
+    "phoenix",
+    "seattle",
+    "denver",
+    "boston",
+    "atlanta",
+    "miami",
+    "portland",
+    "austin",
 ];
 
 /// Street name words.
 pub const STREETS: &[&str] = &[
-    "main st", "oak ave", "elm st", "park blvd", "maple dr", "cedar ln",
-    "1st ave", "2nd st", "5th ave", "broadway", "market st", "sunset blvd",
+    "main st",
+    "oak ave",
+    "elm st",
+    "park blvd",
+    "maple dr",
+    "cedar ln",
+    "1st ave",
+    "2nd st",
+    "5th ave",
+    "broadway",
+    "market st",
+    "sunset blvd",
 ];
 
 /// Research-paper title words.
 pub const PAPER_WORDS: &[&str] = &[
-    "efficient", "scalable", "distributed", "parallel", "adaptive",
-    "incremental", "approximate", "optimal", "robust", "secure", "query",
-    "processing", "optimization", "indexing", "mining", "learning",
-    "clustering", "classification", "matching", "integration", "streams",
-    "graphs", "databases", "transactions", "storage", "retrieval",
-    "networks", "systems", "algorithms", "models", "semantics", "schema",
-    "entity", "knowledge", "temporal", "spatial", "probabilistic",
+    "efficient",
+    "scalable",
+    "distributed",
+    "parallel",
+    "adaptive",
+    "incremental",
+    "approximate",
+    "optimal",
+    "robust",
+    "secure",
+    "query",
+    "processing",
+    "optimization",
+    "indexing",
+    "mining",
+    "learning",
+    "clustering",
+    "classification",
+    "matching",
+    "integration",
+    "streams",
+    "graphs",
+    "databases",
+    "transactions",
+    "storage",
+    "retrieval",
+    "networks",
+    "systems",
+    "algorithms",
+    "models",
+    "semantics",
+    "schema",
+    "entity",
+    "knowledge",
+    "temporal",
+    "spatial",
+    "probabilistic",
 ];
 
 /// Publication venues (small pool).
 pub const VENUES: &[&str] = &[
-    "sigmod", "vldb", "icde", "edbt", "kdd", "icml", "cikm", "www",
-    "pods", "sigir",
+    "sigmod", "vldb", "icde", "edbt", "kdd", "icml", "cikm", "www", "pods", "sigir",
 ];
 
 /// Product categories for the Walmart-Amazon style domain.
 pub const CATEGORIES: &[&str] = &[
-    "electronics", "computers", "accessories", "photography", "audio",
-    "office", "storage", "networking", "gaming", "wearables",
+    "electronics",
+    "computers",
+    "accessories",
+    "photography",
+    "audio",
+    "office",
+    "storage",
+    "networking",
+    "gaming",
+    "wearables",
 ];
 
 /// Long-description filler words for the textual domain.
 pub const DESCRIPTION_WORDS: &[&str] = &[
-    "features", "includes", "designed", "perfect", "quality", "durable",
-    "lightweight", "easy", "install", "compatible", "warranty", "package",
-    "high", "performance", "advanced", "technology", "resolution",
-    "capacity", "powerful", "reliable", "adjustable", "universal",
-    "provides", "delivers", "supports", "built", "engineered", "superior",
+    "features",
+    "includes",
+    "designed",
+    "perfect",
+    "quality",
+    "durable",
+    "lightweight",
+    "easy",
+    "install",
+    "compatible",
+    "warranty",
+    "package",
+    "high",
+    "performance",
+    "advanced",
+    "technology",
+    "resolution",
+    "capacity",
+    "powerful",
+    "reliable",
+    "adjustable",
+    "universal",
+    "provides",
+    "delivers",
+    "supports",
+    "built",
+    "engineered",
+    "superior",
 ];
 
 /// Draws `k` distinct words from a pool (fewer if the pool is smaller).
@@ -270,10 +494,24 @@ mod tests {
     #[test]
     fn pools_are_nonempty_and_lowercase() {
         for pool in [
-            BRANDS, PRODUCT_NOUNS, PRODUCT_ADJECTIVES, BEER_WORDS, BEER_STYLES,
-            BREWERY_WORDS, FIRST_NAMES, LAST_NAMES, MUSIC_WORDS, GENRES,
-            RESTAURANT_WORDS, CUISINES, CITIES, STREETS, PAPER_WORDS, VENUES,
-            CATEGORIES, DESCRIPTION_WORDS,
+            BRANDS,
+            PRODUCT_NOUNS,
+            PRODUCT_ADJECTIVES,
+            BEER_WORDS,
+            BEER_STYLES,
+            BREWERY_WORDS,
+            FIRST_NAMES,
+            LAST_NAMES,
+            MUSIC_WORDS,
+            GENRES,
+            RESTAURANT_WORDS,
+            CUISINES,
+            CITIES,
+            STREETS,
+            PAPER_WORDS,
+            VENUES,
+            CATEGORIES,
+            DESCRIPTION_WORDS,
         ] {
             assert!(!pool.is_empty());
             for w in pool {

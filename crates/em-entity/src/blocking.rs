@@ -26,7 +26,10 @@ pub struct BlockingConfig {
 
 impl Default for BlockingConfig {
     fn default() -> Self {
-        BlockingConfig { min_shared_tokens: 2, max_token_frequency: 0.2 }
+        BlockingConfig {
+            min_shared_tokens: 2,
+            max_token_frequency: 0.2,
+        }
     }
 }
 
@@ -48,7 +51,10 @@ pub fn token_blocking(
     right: &[Entity],
     config: &BlockingConfig,
 ) -> Vec<(usize, usize)> {
-    assert!(config.min_shared_tokens >= 1, "min_shared_tokens must be >= 1");
+    assert!(
+        config.min_shared_tokens >= 1,
+        "min_shared_tokens must be >= 1"
+    );
     assert!(
         config.max_token_frequency > 0.0 && config.max_token_frequency <= 1.0,
         "max_token_frequency must be in (0, 1]"
@@ -154,15 +160,19 @@ mod tests {
 
     fn products_right() -> Vec<Entity> {
         vec![
-            Entity::new(vec!["sonix alpha dslra200 kit"]),   // matches left 0
-            Entity::new(vec!["nikor z900 coolpix case"]),    // matches left 1
-            Entity::new(vec!["keyboard mechanical rgb"]),    // matches nothing
+            Entity::new(vec!["sonix alpha dslra200 kit"]), // matches left 0
+            Entity::new(vec!["nikor z900 coolpix case"]),  // matches left 1
+            Entity::new(vec!["keyboard mechanical rgb"]),  // matches nothing
         ]
     }
 
     #[test]
     fn finds_true_matches_and_prunes_junk() {
-        let c = token_blocking(&products_left(), &products_right(), &BlockingConfig::default());
+        let c = token_blocking(
+            &products_left(),
+            &products_right(),
+            &BlockingConfig::default(),
+        );
         assert!(c.contains(&(0, 0)));
         assert!(c.contains(&(1, 1)));
         assert!(!c.iter().any(|&(_, j)| j == 2));
@@ -173,12 +183,18 @@ mod tests {
         let loose = token_blocking(
             &products_left(),
             &products_right(),
-            &BlockingConfig { min_shared_tokens: 1, ..Default::default() },
+            &BlockingConfig {
+                min_shared_tokens: 1,
+                ..Default::default()
+            },
         );
         let tight = token_blocking(
             &products_left(),
             &products_right(),
-            &BlockingConfig { min_shared_tokens: 3, ..Default::default() },
+            &BlockingConfig {
+                min_shared_tokens: 3,
+                ..Default::default()
+            },
         );
         assert!(tight.len() <= loose.len());
         for pair in &tight {
@@ -190,24 +206,33 @@ mod tests {
     fn stop_words_do_not_create_candidates() {
         // "camera" appears in every entity of both tables: with an
         // aggressive frequency cap it is stop-worded and creates no pairs.
-        let left: Vec<Entity> =
-            (0..10).map(|i| Entity::new(vec![format!("camera item{i}")])).collect();
-        let right: Vec<Entity> =
-            (0..10).map(|i| Entity::new(vec![format!("camera thing{i}")])).collect();
+        let left: Vec<Entity> = (0..10)
+            .map(|i| Entity::new(vec![format!("camera item{i}")]))
+            .collect();
+        let right: Vec<Entity> = (0..10)
+            .map(|i| Entity::new(vec![format!("camera thing{i}")]))
+            .collect();
         let c = token_blocking(
             &left,
             &right,
-            &BlockingConfig { min_shared_tokens: 1, max_token_frequency: 0.2 },
+            &BlockingConfig {
+                min_shared_tokens: 1,
+                max_token_frequency: 0.2,
+            },
         );
         assert!(c.is_empty(), "{c:?}");
     }
 
     #[test]
     fn output_is_sorted_and_unique() {
-        let c = token_blocking(&products_left(), &products_right(), &BlockingConfig {
-            min_shared_tokens: 1,
-            ..Default::default()
-        });
+        let c = token_blocking(
+            &products_left(),
+            &products_right(),
+            &BlockingConfig {
+                min_shared_tokens: 1,
+                ..Default::default()
+            },
+        );
         let mut sorted = c.clone();
         sorted.sort_unstable();
         sorted.dedup();
@@ -239,6 +264,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "min_shared_tokens")]
     fn zero_min_shared_is_rejected() {
-        token_blocking(&[], &[], &BlockingConfig { min_shared_tokens: 0, ..Default::default() });
+        token_blocking(
+            &[],
+            &[],
+            &BlockingConfig {
+                min_shared_tokens: 0,
+                ..Default::default()
+            },
+        );
     }
 }

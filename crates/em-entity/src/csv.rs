@@ -57,7 +57,11 @@ impl std::fmt::Display for CsvError {
             CsvError::MissingLabel => write!(f, "missing 'label' column"),
             CsvError::UnpairedColumn(c) => write!(f, "column {c:?} has no left/right partner"),
             CsvError::NoAttributes => write!(f, "no left_/right_ attribute columns found"),
-            CsvError::RowWidth { row, expected, actual } => {
+            CsvError::RowWidth {
+                row,
+                expected,
+                actual,
+            } => {
                 write!(f, "row {row}: expected {expected} fields, got {actual}")
             }
             CsvError::BadLabel { row, value } => write!(f, "row {row}: bad label {value:?}"),
@@ -188,11 +192,24 @@ pub fn dataset_from_csv(name: &str, text: &str) -> Result<EmDataset, CsvError> {
             "1" | "true" => true,
             "0" | "false" => false,
             other => {
-                return Err(CsvError::BadLabel { row: row_no + 2, value: other.to_string() })
+                return Err(CsvError::BadLabel {
+                    row: row_no + 2,
+                    value: other.to_string(),
+                })
             }
         };
-        let left = Entity::new(attrs.iter().map(|&(_, l, _)| row[l].clone()).collect::<Vec<_>>());
-        let right = Entity::new(attrs.iter().map(|&(_, _, r)| row[r].clone()).collect::<Vec<_>>());
+        let left = Entity::new(
+            attrs
+                .iter()
+                .map(|&(_, l, _)| row[l].clone())
+                .collect::<Vec<_>>(),
+        );
+        let right = Entity::new(
+            attrs
+                .iter()
+                .map(|&(_, _, r)| row[r].clone())
+                .collect::<Vec<_>>(),
+        );
         records.push(LabeledPair::new(EntityPair::new(left, right), label));
     }
     Ok(EmDataset::new(name, schema, records))
@@ -277,7 +294,10 @@ mod tests {
     #[test]
     fn missing_label_column_errors() {
         let csv = "left_a,right_a\nx,y\n";
-        assert_eq!(dataset_from_csv("t", csv).unwrap_err(), CsvError::MissingLabel);
+        assert_eq!(
+            dataset_from_csv("t", csv).unwrap_err(),
+            CsvError::MissingLabel
+        );
     }
 
     #[test]
@@ -292,7 +312,10 @@ mod tests {
     #[test]
     fn no_attributes_errors() {
         let csv = "label,id\n0,1\n";
-        assert_eq!(dataset_from_csv("t", csv).unwrap_err(), CsvError::NoAttributes);
+        assert_eq!(
+            dataset_from_csv("t", csv).unwrap_err(),
+            CsvError::NoAttributes
+        );
     }
 
     #[test]
@@ -300,14 +323,21 @@ mod tests {
         let csv = "label,left_a,right_a\n0,x\n";
         assert_eq!(
             dataset_from_csv("t", csv).unwrap_err(),
-            CsvError::RowWidth { row: 2, expected: 3, actual: 2 }
+            CsvError::RowWidth {
+                row: 2,
+                expected: 3,
+                actual: 2
+            }
         );
     }
 
     #[test]
     fn bad_label_errors() {
         let csv = "label,left_a,right_a\nmaybe,x,y\n";
-        assert!(matches!(dataset_from_csv("t", csv).unwrap_err(), CsvError::BadLabel { .. }));
+        assert!(matches!(
+            dataset_from_csv("t", csv).unwrap_err(),
+            CsvError::BadLabel { .. }
+        ));
     }
 
     #[test]
@@ -317,7 +347,10 @@ mod tests {
 
     #[test]
     fn empty_input_errors() {
-        assert_eq!(dataset_from_csv("t", "").unwrap_err(), CsvError::MissingHeader);
+        assert_eq!(
+            dataset_from_csv("t", "").unwrap_err(),
+            CsvError::MissingHeader
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub struct SplitConfig {
 
 impl Default for SplitConfig {
     fn default() -> Self {
-        SplitConfig { train_fraction: 0.7, seed: 42 }
+        SplitConfig {
+            train_fraction: 0.7,
+            seed: 42,
+        }
     }
 }
 
@@ -43,7 +46,11 @@ impl EmDataset {
                 "record {i} does not conform to the schema"
             );
         }
-        EmDataset { name: name.into(), schema, records }
+        EmDataset {
+            name: name.into(),
+            schema,
+            records,
+        }
     }
 
     /// The dataset's display name (e.g. `S-WA`).
@@ -97,8 +104,16 @@ impl EmDataset {
         let cut = cut.min(shuffled.len());
         let (train, test) = shuffled.split_at(cut);
         (
-            EmDataset::new(format!("{}-train", self.name), self.schema.clone(), train.to_vec()),
-            EmDataset::new(format!("{}-test", self.name), self.schema.clone(), test.to_vec()),
+            EmDataset::new(
+                format!("{}-train", self.name),
+                self.schema.clone(),
+                train.to_vec(),
+            ),
+            EmDataset::new(
+                format!("{}-test", self.name),
+                self.schema.clone(),
+                test.to_vec(),
+            ),
         )
     }
 
@@ -168,7 +183,10 @@ mod tests {
     #[test]
     fn split_partitions_all_records() {
         let d = make_dataset(10, 30);
-        let (train, test) = d.train_test_split(&SplitConfig { train_fraction: 0.75, seed: 1 });
+        let (train, test) = d.train_test_split(&SplitConfig {
+            train_fraction: 0.75,
+            seed: 1,
+        });
         assert_eq!(train.len() + test.len(), d.len());
         assert_eq!(train.len(), 30);
     }
@@ -176,7 +194,10 @@ mod tests {
     #[test]
     fn split_is_deterministic_per_seed() {
         let d = make_dataset(10, 30);
-        let cfg = SplitConfig { train_fraction: 0.5, seed: 7 };
+        let cfg = SplitConfig {
+            train_fraction: 0.5,
+            seed: 7,
+        };
         let (a, _) = d.train_test_split(&cfg);
         let (b, _) = d.train_test_split(&cfg);
         assert_eq!(a.records(), b.records());
@@ -185,8 +206,14 @@ mod tests {
     #[test]
     fn split_differs_across_seeds() {
         let d = make_dataset(20, 60);
-        let (a, _) = d.train_test_split(&SplitConfig { train_fraction: 0.5, seed: 1 });
-        let (b, _) = d.train_test_split(&SplitConfig { train_fraction: 0.5, seed: 2 });
+        let (a, _) = d.train_test_split(&SplitConfig {
+            train_fraction: 0.5,
+            seed: 1,
+        });
+        let (b, _) = d.train_test_split(&SplitConfig {
+            train_fraction: 0.5,
+            seed: 2,
+        });
         assert_ne!(a.records(), b.records());
     }
 
@@ -204,8 +231,16 @@ mod tests {
     #[test]
     fn sample_is_deterministic() {
         let d = make_dataset(10, 40);
-        let a: Vec<_> = d.sample_by_label(false, 5, 3).into_iter().cloned().collect();
-        let b: Vec<_> = d.sample_by_label(false, 5, 3).into_iter().cloned().collect();
+        let a: Vec<_> = d
+            .sample_by_label(false, 5, 3)
+            .into_iter()
+            .cloned()
+            .collect();
+        let b: Vec<_> = d
+            .sample_by_label(false, 5, 3)
+            .into_iter()
+            .cloned()
+            .collect();
         assert_eq!(a, b);
     }
 }

@@ -11,12 +11,16 @@ pub struct Entity {
 impl Entity {
     /// Builds an entity from attribute values.
     pub fn new<S: Into<String>>(values: Vec<S>) -> Self {
-        Entity { values: values.into_iter().map(Into::into).collect() }
+        Entity {
+            values: values.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// An entity with every attribute empty.
     pub fn empty(n_attributes: usize) -> Self {
-        Entity { values: vec![String::new(); n_attributes] }
+        Entity {
+            values: vec![String::new(); n_attributes],
+        }
     }
 
     /// Number of attribute values (must equal the schema length to be valid
@@ -52,7 +56,10 @@ impl Entity {
 
     /// Total number of whitespace-separated tokens across all attributes.
     pub fn token_count(&self) -> usize {
-        self.values.iter().map(|v| v.split_whitespace().count()).sum()
+        self.values
+            .iter()
+            .map(|v| v.split_whitespace().count())
+            .sum()
     }
 
     /// Renders as `attr1=..., attr2=...` for debugging / examples.

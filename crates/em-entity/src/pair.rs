@@ -122,7 +122,10 @@ mod tests {
     use super::*;
 
     fn pair() -> EntityPair {
-        EntityPair::new(Entity::new(vec!["sony camera"]), Entity::new(vec!["nikon case"]))
+        EntityPair::new(
+            Entity::new(vec!["sony camera"]),
+            Entity::new(vec!["nikon case"]),
+        )
     }
 
     #[test]

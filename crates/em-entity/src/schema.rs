@@ -46,7 +46,9 @@ impl Schema {
                 assert_ne!(a.name, b.name, "duplicate attribute name {:?}", a.name);
             }
         }
-        Schema { attributes: Arc::new(attributes) }
+        Schema {
+            attributes: Arc::new(attributes),
+        }
     }
 
     /// Convenience constructor from names; every attribute gets kind
@@ -55,7 +57,10 @@ impl Schema {
         Schema::new(
             names
                 .into_iter()
-                .map(|n| Attribute { name: n.into(), kind: AttributeKind::Name })
+                .map(|n| Attribute {
+                    name: n.into(),
+                    kind: AttributeKind::Name,
+                })
                 .collect(),
         )
     }

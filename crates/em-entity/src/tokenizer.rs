@@ -35,7 +35,11 @@ pub struct Token {
 impl Token {
     /// Builds a token.
     pub fn new(attribute: usize, occurrence: usize, text: impl Into<String>) -> Self {
-        Token { attribute, occurrence, text: text.into() }
+        Token {
+            attribute,
+            occurrence,
+            text: text.into(),
+        }
     }
 
     /// Serializes to the prefixed form `attrname__occurrence__text`.
@@ -58,7 +62,11 @@ impl Token {
         let (occ, text) = rest.split_once(PREFIX_SEPARATOR)?;
         let attribute = schema.index_of(attr_name)?;
         let occurrence = occ.parse().ok()?;
-        Some(Token { attribute, occurrence, text: text.to_string() })
+        Some(Token {
+            attribute,
+            occurrence,
+            text: text.to_string(),
+        })
     }
 }
 
@@ -98,13 +106,21 @@ pub fn tokenize_pair(pair: &crate::pair::EntityPair) -> (Vec<Token>, Vec<Token>)
 pub fn detokenize(tokens: &[Token], n_attributes: usize) -> Entity {
     let mut per_attr: Vec<Vec<(usize, usize, &str)>> = vec![Vec::new(); n_attributes];
     for (input_order, t) in tokens.iter().enumerate() {
-        assert!(t.attribute < n_attributes, "token attribute {} out of range", t.attribute);
+        assert!(
+            t.attribute < n_attributes,
+            "token attribute {} out of range",
+            t.attribute
+        );
         per_attr[t.attribute].push((t.occurrence, input_order, &t.text));
     }
     let mut entity = Entity::empty(n_attributes);
     for (attr, mut terms) in per_attr.into_iter().enumerate() {
         terms.sort_by_key(|&(occ, ord, _)| (occ, ord));
-        let value = terms.iter().map(|&(_, _, s)| s).collect::<Vec<_>>().join(" ");
+        let value = terms
+            .iter()
+            .map(|&(_, _, s)| s)
+            .collect::<Vec<_>>()
+            .join(" ");
         entity.set_value(attr, value);
     }
     entity
@@ -115,7 +131,11 @@ pub fn detokenize(tokens: &[Token], n_attributes: usize) -> Entity {
 /// tokens copied from another entity would otherwise collide with the
 /// original positions.
 pub fn renumber(tokens: &mut [Token]) {
-    let max_attr = tokens.iter().map(|t| t.attribute).max().map_or(0, |m| m + 1);
+    let max_attr = tokens
+        .iter()
+        .map(|t| t.attribute)
+        .max()
+        .map_or(0, |m| m + 1);
     let mut next = vec![0usize; max_attr];
     for t in tokens.iter_mut() {
         t.occurrence = next[t.attribute];
@@ -133,7 +153,11 @@ mod tests {
     }
 
     fn entity() -> Entity {
-        Entity::new(vec!["sony digital camera", "camera with lens kit", "849.99"])
+        Entity::new(vec![
+            "sony digital camera",
+            "camera with lens kit",
+            "849.99",
+        ])
     }
 
     #[test]
@@ -215,7 +239,11 @@ mod tests {
 
     #[test]
     fn detokenize_orders_by_occurrence_not_input_order() {
-        let tokens = vec![Token::new(0, 2, "c"), Token::new(0, 0, "a"), Token::new(0, 1, "b")];
+        let tokens = vec![
+            Token::new(0, 2, "c"),
+            Token::new(0, 0, "a"),
+            Token::new(0, 1, "b"),
+        ];
         assert_eq!(detokenize(&tokens, 1), Entity::new(vec!["a b c"]));
     }
 

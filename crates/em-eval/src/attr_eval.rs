@@ -20,7 +20,7 @@ use crate::technique::{explain_record, Technique};
 /// Per-record attribute importances are averaged over all records (and
 /// both landmark views, for landmark techniques) before ranking, yielding
 /// one correlation per dataset/technique/label like the paper's Table 3.
-pub fn attribute_eval<M: MatchModel>(
+pub fn attribute_eval<M: MatchModel + Sync>(
     model: &M,
     model_attribute_weights: &[f64],
     schema: &Schema,

@@ -30,7 +30,11 @@ pub struct InterestConfig {
 
 impl Default for InterestConfig {
     fn default() -> Self {
-        InterestConfig { threshold: 0.5, n_samples: 500, seed: 0 }
+        InterestConfig {
+            threshold: 0.5,
+            n_samples: 500,
+            seed: 0,
+        }
     }
 }
 
@@ -39,7 +43,7 @@ impl Default for InterestConfig {
 /// `remove_positive` selects the removal direction: `true` for records
 /// labeled matching (remove match-supporting tokens), `false` for
 /// non-matching (remove match-blocking tokens).
-pub fn interest_eval<M: MatchModel>(
+pub fn interest_eval<M: MatchModel + Sync>(
     model: &M,
     schema: &Schema,
     records: &[&EntityPair],
@@ -52,14 +56,21 @@ pub fn interest_eval<M: MatchModel>(
         .enumerate()
         .map(|(i, pair)| {
             let record_seed = config.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9);
-            explain_record(technique, model, schema, pair, config.n_samples, record_seed)
+            explain_record(
+                technique,
+                model,
+                schema,
+                pair,
+                config.n_samples,
+                record_seed,
+            )
         })
         .collect();
     interest_eval_views(model, schema, &views_per_record, remove_positive, config)
 }
 
 /// Interest evaluation over pre-computed explanations.
-pub fn interest_eval_views<M: MatchModel>(
+pub fn interest_eval_views<M: MatchModel + Sync>(
     model: &M,
     schema: &Schema,
     views_per_record: &[Vec<crate::technique::ExplainedRecord>],
@@ -115,7 +126,10 @@ mod tests {
             let g = |e: &Entity| -> HashSet<String> {
                 (0..schema.len())
                     .flat_map(|i| {
-                        e.value(i).split_whitespace().map(str::to_string).collect::<Vec<_>>()
+                        e.value(i)
+                            .split_whitespace()
+                            .map(str::to_string)
+                            .collect::<Vec<_>>()
                     })
                     .collect()
             };
@@ -146,7 +160,10 @@ mod tests {
             &records,
             Technique::Lime,
             true,
-            &InterestConfig { n_samples: 600, ..Default::default() },
+            &InterestConfig {
+                n_samples: 600,
+                ..Default::default()
+            },
         );
         assert_eq!(interest, 1.0);
     }
@@ -156,10 +173,7 @@ mod tests {
         // Disjoint record: dropping tokens can never create overlap, so the
         // label cannot flip to match — the exact weakness the paper
         // describes for LIME / Mojito Drop on non-matching records.
-        let pair = EntityPair::new(
-            Entity::new(vec!["a b c"]),
-            Entity::new(vec!["x y z"]),
-        );
+        let pair = EntityPair::new(Entity::new(vec!["a b c"]), Entity::new(vec!["x y z"]));
         let records = vec![&pair];
         let interest = interest_eval(
             &Overlap,
@@ -189,7 +203,10 @@ mod tests {
             &records,
             Technique::LandmarkDouble,
             false,
-            &InterestConfig { n_samples: 800, ..Default::default() },
+            &InterestConfig {
+                n_samples: 800,
+                ..Default::default()
+            },
         );
         assert!(double > 0.9, "double interest = {double}");
     }
@@ -211,10 +228,7 @@ mod tests {
     fn threshold_changes_the_outcome() {
         // p = 3/5 = 0.6: a match at threshold 0.5 and also at 0.55; with a
         // lower threshold of 0.2 the removal must push further to flip.
-        let pair = EntityPair::new(
-            Entity::new(vec!["a b c d"]),
-            Entity::new(vec!["a b c e"]),
-        );
+        let pair = EntityPair::new(Entity::new(vec!["a b c d"]), Entity::new(vec!["a b c e"]));
         let records = vec![&pair];
         let strict = interest_eval(
             &Overlap,
@@ -222,7 +236,10 @@ mod tests {
             &records,
             Technique::Lime,
             true,
-            &InterestConfig { threshold: 0.05, ..Default::default() },
+            &InterestConfig {
+                threshold: 0.05,
+                ..Default::default()
+            },
         );
         // At threshold 0.05 nearly any residual overlap keeps it a match:
         // flipping requires eliminating all overlap, which removing only
@@ -239,9 +256,26 @@ mod tests {
             Entity::new(vec!["a b x y z"]),
         );
         let records = vec![&pair];
-        let cfg = InterestConfig { n_samples: 300, ..Default::default() };
-        let a = interest_eval(&Overlap, &schema(), &records, Technique::LandmarkDouble, false, &cfg);
-        let b = interest_eval(&Overlap, &schema(), &records, Technique::LandmarkDouble, false, &cfg);
+        let cfg = InterestConfig {
+            n_samples: 300,
+            ..Default::default()
+        };
+        let a = interest_eval(
+            &Overlap,
+            &schema(),
+            &records,
+            Technique::LandmarkDouble,
+            false,
+            &cfg,
+        );
+        let b = interest_eval(
+            &Overlap,
+            &schema(),
+            &records,
+            Technique::LandmarkDouble,
+            false,
+            &cfg,
+        );
         assert_eq!(a, b);
     }
 }

@@ -101,7 +101,10 @@ mod tests {
 
     #[test]
     fn all_tied_gives_zero() {
-        assert_eq!(weighted_kendall_tau(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(
+            weighted_kendall_tau(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]),
+            0.0
+        );
     }
 
     #[test]

@@ -30,9 +30,10 @@ pub mod technique;
 pub mod token_eval;
 
 pub use attr_eval::attribute_eval;
-pub use neighborhood::{neighborhood_stats, NeighborhoodStats};
+pub use em_par::ParallelismConfig;
 pub use interest_eval::interest_eval;
 pub use kendall::weighted_kendall_tau;
+pub use neighborhood::{neighborhood_stats, NeighborhoodStats};
 pub use runner::{DatasetEvaluation, EvalConfig, Evaluator};
 pub use stability::{explanation_stability, StabilityReport};
 pub use technique::{ExplainedRecord, Technique};

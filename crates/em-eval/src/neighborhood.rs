@@ -43,7 +43,7 @@ pub struct NeighborhoodStats {
 
 /// Measures the perturbation neighborhood a technique would generate for
 /// `pair`. Landmark techniques report the left-landmark neighborhood.
-pub fn neighborhood_stats<M: MatchModel>(
+pub fn neighborhood_stats<M: MatchModel + Sync>(
     model: &M,
     schema: &Schema,
     pair: &EntityPair,
@@ -53,12 +53,22 @@ pub fn neighborhood_stats<M: MatchModel>(
 ) -> NeighborhoodStats {
     match technique {
         Technique::Lime => lime_stats(model, schema, pair, n_samples, seed),
-        Technique::LandmarkSingle => {
-            landmark_stats(model, schema, pair, ResolvedStrategy::SingleEntity, n_samples, seed)
-        }
-        Technique::LandmarkDouble => {
-            landmark_stats(model, schema, pair, ResolvedStrategy::DoubleEntity, n_samples, seed)
-        }
+        Technique::LandmarkSingle => landmark_stats(
+            model,
+            schema,
+            pair,
+            ResolvedStrategy::SingleEntity,
+            n_samples,
+            seed,
+        ),
+        Technique::LandmarkDouble => landmark_stats(
+            model,
+            schema,
+            pair,
+            ResolvedStrategy::DoubleEntity,
+            n_samples,
+            seed,
+        ),
         Technique::MojitoCopy => copy_stats(model, schema, pair, n_samples, seed),
     }
 }
@@ -73,7 +83,7 @@ fn summarize(probs: &[f64], nulls: usize) -> NeighborhoodStats {
     }
 }
 
-fn lime_stats<M: MatchModel>(
+fn lime_stats<M: MatchModel + Sync>(
     model: &M,
     schema: &Schema,
     pair: &EntityPair,
@@ -136,7 +146,7 @@ fn lime_stats<M: MatchModel>(
     summarize(&probs, nulls)
 }
 
-fn landmark_stats<M: MatchModel>(
+fn landmark_stats<M: MatchModel + Sync>(
     model: &M,
     schema: &Schema,
     pair: &EntityPair,
@@ -156,7 +166,7 @@ fn landmark_stats<M: MatchModel>(
     summarize(&probs, 0)
 }
 
-fn copy_stats<M: MatchModel>(
+fn copy_stats<M: MatchModel + Sync>(
     model: &M,
     schema: &Schema,
     pair: &EntityPair,
@@ -192,7 +202,10 @@ mod tests {
             let g = |e: &Entity| -> HashSet<String> {
                 (0..schema.len())
                     .flat_map(|i| {
-                        e.value(i).split_whitespace().map(str::to_string).collect::<Vec<_>>()
+                        e.value(i)
+                            .split_whitespace()
+                            .map(str::to_string)
+                            .collect::<Vec<_>>()
                     })
                     .collect()
             };
@@ -266,7 +279,14 @@ mod tests {
 
     #[test]
     fn copy_neighborhood_reaches_the_match_class() {
-        let s = neighborhood_stats(&Overlap, &schema(), &non_match(), Technique::MojitoCopy, 100, 3);
+        let s = neighborhood_stats(
+            &Overlap,
+            &schema(),
+            &non_match(),
+            Technique::MojitoCopy,
+            100,
+            3,
+        );
         // Copying the single attribute makes the pair identical.
         assert!(s.match_fraction > 0.3, "{s:?}");
     }

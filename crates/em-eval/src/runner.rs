@@ -11,6 +11,7 @@
 use em_datagen::{DatasetId, MagellanBenchmark};
 use em_entity::{EmDataset, EntityPair, SplitConfig};
 use em_matchers::{LogisticMatcher, MatcherConfig};
+use em_par::ParallelismConfig;
 
 use crate::interest_eval::InterestConfig;
 use crate::technique::Technique;
@@ -31,6 +32,10 @@ pub struct EvalConfig {
     pub threshold: f64,
     /// Base seed.
     pub seed: u64,
+    /// How to spread per-record explanation across threads. Each record's
+    /// explanation is seeded independently from the base seed and its
+    /// record index, so serial and parallel runs are bit-identical.
+    pub parallelism: ParallelismConfig,
 }
 
 impl Default for EvalConfig {
@@ -42,6 +47,7 @@ impl Default for EvalConfig {
             removal_fraction: 0.25,
             threshold: 0.5,
             seed: 0xE0B7,
+            parallelism: ParallelismConfig::serial(),
         }
     }
 }
@@ -103,18 +109,22 @@ impl Evaluator {
 
     /// Generates + evaluates one benchmark dataset end to end.
     pub fn evaluate_dataset(&self, id: DatasetId) -> DatasetEvaluation {
-        let benchmark = MagellanBenchmark { scale: self.config.scale, ..Default::default() };
+        let benchmark = MagellanBenchmark {
+            scale: self.config.scale,
+            ..Default::default()
+        };
         let dataset = benchmark.generate(id);
         self.evaluate_prepared(&dataset)
     }
 
     /// Evaluates an already-generated dataset (used by tests and ablations).
     pub fn evaluate_prepared(&self, dataset: &EmDataset) -> DatasetEvaluation {
-        let (train, test) =
-            dataset.train_test_split(&SplitConfig { train_fraction: 0.7, seed: self.config.seed });
+        let (train, test) = dataset.train_test_split(&SplitConfig {
+            train_fraction: 0.7,
+            seed: self.config.seed,
+        });
         let matcher = LogisticMatcher::train(&train, &MatcherConfig::default());
-        let matcher_f1 =
-            em_matchers::evaluate_matcher(&matcher, &test, self.config.threshold).f1();
+        let matcher_f1 = em_matchers::evaluate_matcher(&matcher, &test, self.config.threshold).f1();
 
         let matching = self.evaluate_label(dataset, &matcher, true);
         let non_matching = self.evaluate_label(dataset, &matcher, false);
@@ -156,13 +166,16 @@ impl Evaluator {
             .map(|technique| {
                 // Explain each record once and share the explanations
                 // across the three evaluations (they only differ in what
-                // they do with the coefficients).
-                let views_per_record: Vec<Vec<crate::technique::ExplainedRecord>> = records
-                    .iter()
-                    .enumerate()
-                    .map(|(i, pair)| {
-                        let record_seed =
-                            self.config.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9);
+                // they do with the coefficients). Records fan out across
+                // the thread pool; each derives its RNG seed from the base
+                // seed and its index, so thread count never changes results.
+                let views_per_record: Vec<Vec<crate::technique::ExplainedRecord>> =
+                    em_par::par_map(&self.config.parallelism, &records, |i, pair| {
+                        let record_seed = self
+                            .config
+                            .seed
+                            .wrapping_add(i as u64)
+                            .wrapping_mul(0x9E37_79B9);
                         crate::technique::explain_record(
                             technique,
                             matcher,
@@ -171,10 +184,13 @@ impl Evaluator {
                             self.config.n_samples,
                             record_seed,
                         )
-                    })
-                    .collect();
-                let token =
-                    crate::token_eval::token_eval_views(matcher, schema, &views_per_record, &token_cfg);
+                    });
+                let token = crate::token_eval::token_eval_views(
+                    matcher,
+                    schema,
+                    &views_per_record,
+                    &token_cfg,
+                );
                 let attr_tau = if records.is_empty() {
                     0.0
                 } else {
@@ -191,10 +207,19 @@ impl Evaluator {
                     label, // matching label -> remove positive tokens
                     &interest_cfg,
                 );
-                TechniqueResult { technique, token, attr_tau, interest }
+                TechniqueResult {
+                    technique,
+                    token,
+                    attr_tau,
+                    interest,
+                }
             })
             .collect();
-        LabelResults { label, n_records: records.len(), techniques }
+        LabelResults {
+            label,
+            n_records: records.len(),
+            techniques,
+        }
     }
 }
 
@@ -232,7 +257,12 @@ mod tests {
 
     #[test]
     fn matcher_reaches_reasonable_f1_on_synthetic_data() {
-        let eval = Evaluator::new(EvalConfig { scale: 0.2, n_records_per_label: 2, n_samples: 40, ..Default::default() });
+        let eval = Evaluator::new(EvalConfig {
+            scale: 0.2,
+            n_records_per_label: 2,
+            n_samples: 40,
+            ..Default::default()
+        });
         let r = eval.evaluate_dataset(DatasetId::SWa);
         assert!(r.matcher_f1 > 0.6, "f1 = {}", r.matcher_f1);
     }

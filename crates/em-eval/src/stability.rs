@@ -30,7 +30,7 @@ pub struct StabilityReport {
 /// Token identity for set comparison: (view index, side, attribute, occurrence).
 type Key = (usize, em_entity::EntitySide, usize, usize);
 
-fn explain_keys_and_weights<M: MatchModel>(
+fn explain_keys_and_weights<M: MatchModel + Sync>(
     model: &M,
     schema: &Schema,
     pair: &EntityPair,
@@ -52,7 +52,7 @@ fn explain_keys_and_weights<M: MatchModel>(
 
 /// Measures stability of a technique's explanation of `pair` across
 /// `seeds`, looking at the top-`k` tokens by |weight|.
-pub fn explanation_stability<M: MatchModel>(
+pub fn explanation_stability<M: MatchModel + Sync>(
     model: &M,
     schema: &Schema,
     pair: &EntityPair,
@@ -61,7 +61,10 @@ pub fn explanation_stability<M: MatchModel>(
     k: usize,
     seeds: &[u64],
 ) -> StabilityReport {
-    assert!(seeds.len() >= 2, "need at least two seeds to measure stability");
+    assert!(
+        seeds.len() >= 2,
+        "need at least two seeds to measure stability"
+    );
     let runs: Vec<Vec<(Key, f64)>> = seeds
         .iter()
         .map(|&s| explain_keys_and_weights(model, schema, pair, technique, n_samples, s))
@@ -114,7 +117,11 @@ pub fn explanation_stability<M: MatchModel>(
     };
 
     StabilityReport {
-        top_k_jaccard: if jac_n == 0 { 1.0 } else { jac_sum / jac_n as f64 },
+        top_k_jaccard: if jac_n == 0 {
+            1.0
+        } else {
+            jac_sum / jac_n as f64
+        },
         weight_cv,
         n_seeds: seeds.len(),
     }
@@ -131,7 +138,10 @@ mod tests {
             let g = |e: &Entity| -> HashSet<String> {
                 (0..schema.len())
                     .flat_map(|i| {
-                        e.value(i).split_whitespace().map(str::to_string).collect::<Vec<_>>()
+                        e.value(i)
+                            .split_whitespace()
+                            .map(str::to_string)
+                            .collect::<Vec<_>>()
                     })
                     .collect()
             };
@@ -158,9 +168,17 @@ mod tests {
     #[test]
     fn more_samples_give_more_stable_explanations() {
         let seeds = [1, 2, 3, 4];
-        let low = explanation_stability(&Overlap, &schema(), &pair(), Technique::Lime, 60, 4, &seeds);
-        let high =
-            explanation_stability(&Overlap, &schema(), &pair(), Technique::Lime, 800, 4, &seeds);
+        let low =
+            explanation_stability(&Overlap, &schema(), &pair(), Technique::Lime, 60, 4, &seeds);
+        let high = explanation_stability(
+            &Overlap,
+            &schema(),
+            &pair(),
+            Technique::Lime,
+            800,
+            4,
+            &seeds,
+        );
         assert!(
             high.weight_cv <= low.weight_cv,
             "high-budget cv {} vs low-budget cv {}",

@@ -25,10 +25,7 @@ pub fn format_table1(rows: &[(DatasetId, usize, f64)]) -> String {
     out
 }
 
-fn technique_result(
-    label: &LabelResults,
-    technique: Technique,
-) -> &crate::runner::TechniqueResult {
+fn technique_result(label: &LabelResults, technique: Technique) -> &crate::runner::TechniqueResult {
     label
         .techniques
         .iter()
@@ -40,7 +37,11 @@ fn technique_result(
 /// Copy only for the non-matching label.
 fn columns_for(label_is_match: bool) -> Vec<Technique> {
     if label_is_match {
-        vec![Technique::LandmarkSingle, Technique::LandmarkDouble, Technique::Lime]
+        vec![
+            Technique::LandmarkSingle,
+            Technique::LandmarkDouble,
+            Technique::Lime,
+        ]
     } else {
         vec![
             Technique::LandmarkSingle,
@@ -57,7 +58,11 @@ pub fn format_table2(results: &[DatasetEvaluation], label_is_match: bool) -> Str
     let mut out = format!(
         "Table 2{}: Token-based evaluation — {} label\n",
         if label_is_match { "a" } else { "b" },
-        if label_is_match { "matching" } else { "non-matching" }
+        if label_is_match {
+            "matching"
+        } else {
+            "non-matching"
+        }
     );
     out.push_str("Dataset");
     for t in &techniques {
@@ -65,11 +70,18 @@ pub fn format_table2(results: &[DatasetEvaluation], label_is_match: bool) -> Str
     }
     out.push('\n');
     for r in results {
-        let lr = if label_is_match { &r.matching } else { &r.non_matching };
+        let lr = if label_is_match {
+            &r.matching
+        } else {
+            &r.non_matching
+        };
         out.push_str(&format!("{:<7}", r.dataset));
         for t in &techniques {
             let tr = technique_result(lr, *t);
-            out.push_str(&format!(" | {:>10} {:.3} {:.3}", "", tr.token.accuracy, tr.token.mae));
+            out.push_str(&format!(
+                " | {:>10} {:.3} {:.3}",
+                "", tr.token.accuracy, tr.token.mae
+            ));
         }
         out.push('\n');
     }
@@ -82,7 +94,11 @@ pub fn format_table3(results: &[DatasetEvaluation], label_is_match: bool) -> Str
     let mut out = format!(
         "Table 3{}: Attribute-based evaluation (weighted Kendall tau) — {} label\n",
         if label_is_match { "a" } else { "b" },
-        if label_is_match { "matching" } else { "non-matching" }
+        if label_is_match {
+            "matching"
+        } else {
+            "non-matching"
+        }
     );
     out.push_str("Dataset");
     for t in &techniques {
@@ -90,7 +106,11 @@ pub fn format_table3(results: &[DatasetEvaluation], label_is_match: bool) -> Str
     }
     out.push('\n');
     for r in results {
-        let lr = if label_is_match { &r.matching } else { &r.non_matching };
+        let lr = if label_is_match {
+            &r.matching
+        } else {
+            &r.non_matching
+        };
         out.push_str(&format!("{:<7}", r.dataset));
         for t in &techniques {
             out.push_str(&format!(" | {:>11.3}", technique_result(lr, *t).attr_tau));
@@ -106,7 +126,11 @@ pub fn format_table4(results: &[DatasetEvaluation], label_is_match: bool) -> Str
     let mut out = format!(
         "Table 4{}: Interest of the explanations — {} label\n",
         if label_is_match { "a" } else { "b" },
-        if label_is_match { "matching" } else { "non-matching" }
+        if label_is_match {
+            "matching"
+        } else {
+            "non-matching"
+        }
     );
     out.push_str("Dataset");
     for t in &techniques {
@@ -114,7 +138,11 @@ pub fn format_table4(results: &[DatasetEvaluation], label_is_match: bool) -> Str
     }
     out.push('\n');
     for r in results {
-        let lr = if label_is_match { &r.matching } else { &r.non_matching };
+        let lr = if label_is_match {
+            &r.matching
+        } else {
+            &r.non_matching
+        };
         out.push_str(&format!("{:<7}", r.dataset));
         for t in &techniques {
             out.push_str(&format!(" | {:>11.3}", technique_result(lr, *t).interest));
@@ -127,7 +155,7 @@ pub fn format_table4(results: &[DatasetEvaluation], label_is_match: bool) -> Str
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::{TechniqueResult, LabelResults};
+    use crate::runner::{LabelResults, TechniqueResult};
     use crate::token_eval::TokenEvalResult;
 
     fn fake_eval(name: &str) -> DatasetEvaluation {
@@ -138,7 +166,11 @@ mod tests {
                 .into_iter()
                 .map(|technique| TechniqueResult {
                     technique,
-                    token: TokenEvalResult { accuracy: 0.9, mae: 0.05, n: 10 },
+                    token: TokenEvalResult {
+                        accuracy: 0.9,
+                        mae: 0.05,
+                        n: 10,
+                    },
                     attr_tau: 0.8,
                     interest: 0.6,
                 })
@@ -156,13 +188,20 @@ mod tests {
 
     #[test]
     fn table1_contains_all_rows() {
-        let rows: Vec<(DatasetId, usize, f64)> =
-            DatasetId::all().iter().map(|&id| (id, id.spec().size, id.spec().match_pct)).collect();
+        let rows: Vec<(DatasetId, usize, f64)> = DatasetId::all()
+            .iter()
+            .map(|&id| (id, id.spec().size, id.spec().match_pct))
+            .collect();
         let s = format_table1(&rows);
         for id in DatasetId::all() {
             assert!(s.contains(id.short_name()), "{s}");
         }
-        assert!(s.contains("28707") || s.contains(" 28707") || s.contains("28,707") || s.contains("28707"));
+        assert!(
+            s.contains("28707")
+                || s.contains(" 28707")
+                || s.contains("28,707")
+                || s.contains("28707")
+        );
     }
 
     #[test]

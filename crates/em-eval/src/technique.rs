@@ -3,6 +3,7 @@
 
 use em_entity::{EntityPair, EntitySide, MatchModel, Schema, Token};
 use em_lime::{LimeConfig, LimeExplainer, MojitoCopyConfig, MojitoCopyExplainer, SurrogateConfig};
+use em_par::ParallelismConfig;
 use landmark_core::{GenerationStrategy, LandmarkConfig, LandmarkExplainer};
 
 /// The techniques compared in Tables 2-4.
@@ -21,7 +22,12 @@ pub enum Technique {
 impl Technique {
     /// All techniques, in the paper's column order.
     pub fn all() -> [Technique; 4] {
-        [Technique::LandmarkSingle, Technique::LandmarkDouble, Technique::Lime, Technique::MojitoCopy]
+        [
+            Technique::LandmarkSingle,
+            Technique::LandmarkDouble,
+            Technique::Lime,
+            Technique::MojitoCopy,
+        ]
     }
 
     /// The column header used in the paper's tables.
@@ -63,8 +69,9 @@ pub struct ExplainedRecord {
 /// Produces the explained record(s) for a technique.
 ///
 /// `n_samples` is the perturbation budget per explanation; `seed` drives
-/// mask sampling.
-pub fn explain_record<M: MatchModel>(
+/// mask sampling. Inner explainers run serially: the evaluation harness
+/// parallelizes *across* records, which owns the cores already.
+pub fn explain_record<M: MatchModel + Sync>(
     technique: Technique,
     model: &M,
     schema: &Schema,
@@ -80,8 +87,13 @@ pub fn explain_record<M: MatchModel>(
             } else {
                 GenerationStrategy::DoubleEntity
             };
-            let explainer =
-                LandmarkExplainer::new(LandmarkConfig { n_samples, strategy, surrogate, seed });
+            let explainer = LandmarkExplainer::new(LandmarkConfig {
+                n_samples,
+                strategy,
+                surrogate,
+                seed,
+                parallelism: ParallelismConfig::serial(),
+            });
             let dual = explainer.explain(model, schema, pair);
             dual.both()
                 .into_iter()
@@ -114,7 +126,12 @@ pub fn explain_record<M: MatchModel>(
                 .collect()
         }
         Technique::Lime => {
-            let explainer = LimeExplainer::new(LimeConfig { n_samples, surrogate, seed });
+            let explainer = LimeExplainer::new(LimeConfig {
+                n_samples,
+                surrogate,
+                seed,
+                parallelism: ParallelismConfig::serial(),
+            });
             let e = explainer.explain(model, schema, pair);
             vec![ExplainedRecord {
                 base: pair.clone(),
@@ -166,7 +183,12 @@ mod tests {
             use std::collections::HashSet;
             let grab = |e: &Entity| -> HashSet<String> {
                 (0..schema.len())
-                    .flat_map(|i| e.value(i).split_whitespace().map(str::to_string).collect::<Vec<_>>())
+                    .flat_map(|i| {
+                        e.value(i)
+                            .split_whitespace()
+                            .map(str::to_string)
+                            .collect::<Vec<_>>()
+                    })
                     .collect()
             };
             let a = grab(&pair.left);
@@ -213,18 +235,36 @@ mod tests {
 
     #[test]
     fn single_removable_covers_one_side_per_view() {
-        let views =
-            explain_record(Technique::LandmarkSingle, &OverlapModel, &schema(), &pair(), 100, 0);
+        let views = explain_record(
+            Technique::LandmarkSingle,
+            &OverlapModel,
+            &schema(),
+            &pair(),
+            100,
+            0,
+        );
         // View 0: landmark = Left, so removable tokens are on the Right.
-        assert!(views[0].removable.iter().all(|(s, _, _)| *s == EntitySide::Right));
+        assert!(views[0]
+            .removable
+            .iter()
+            .all(|(s, _, _)| *s == EntitySide::Right));
         assert_eq!(views[0].removable.len(), 4);
-        assert!(views[1].removable.iter().all(|(s, _, _)| *s == EntitySide::Left));
+        assert!(views[1]
+            .removable
+            .iter()
+            .all(|(s, _, _)| *s == EntitySide::Left));
     }
 
     #[test]
     fn double_removable_includes_injected_tokens() {
-        let views =
-            explain_record(Technique::LandmarkDouble, &OverlapModel, &schema(), &pair(), 100, 0);
+        let views = explain_record(
+            Technique::LandmarkDouble,
+            &OverlapModel,
+            &schema(),
+            &pair(),
+            100,
+            0,
+        );
         // The interpretable space is the concatenated record: 4 original
         // varying tokens + 4 injected tokens are all removable.
         assert_eq!(views[0].removable.len(), 8);
@@ -233,8 +273,14 @@ mod tests {
 
     #[test]
     fn double_base_is_the_concatenated_record() {
-        let views =
-            explain_record(Technique::LandmarkDouble, &OverlapModel, &schema(), &pair(), 100, 0);
+        let views = explain_record(
+            Technique::LandmarkDouble,
+            &OverlapModel,
+            &schema(),
+            &pair(),
+            100,
+            0,
+        );
         // View 0: landmark = Left, varying = Right; the base's right entity
         // holds its own tokens plus the left entity's tokens.
         let base = &views[0].base;
@@ -250,7 +296,11 @@ mod tests {
 
     #[test]
     fn single_base_is_the_raw_record() {
-        for t in [Technique::LandmarkSingle, Technique::Lime, Technique::MojitoCopy] {
+        for t in [
+            Technique::LandmarkSingle,
+            Technique::Lime,
+            Technique::MojitoCopy,
+        ] {
             for v in explain_record(t, &OverlapModel, &schema(), &pair(), 100, 0) {
                 assert_eq!(v.base, pair(), "{t:?}");
                 assert_eq!(v.base_prediction, v.original_prediction, "{t:?}");

@@ -36,12 +36,19 @@ impl TokenEvalResult {
     /// Aggregates per-record errors.
     fn from_errors(errors: &[(f64, bool)]) -> TokenEvalResult {
         if errors.is_empty() {
-            return TokenEvalResult { accuracy: 0.0, mae: 0.0, n: 0 };
+            return TokenEvalResult {
+                accuracy: 0.0,
+                mae: 0.0,
+                n: 0,
+            };
         }
         let mae = errors.iter().map(|(e, _)| e).sum::<f64>() / errors.len() as f64;
-        let accuracy =
-            errors.iter().filter(|(_, ok)| *ok).count() as f64 / errors.len() as f64;
-        TokenEvalResult { accuracy, mae, n: errors.len() }
+        let accuracy = errors.iter().filter(|(_, ok)| *ok).count() as f64 / errors.len() as f64;
+        TokenEvalResult {
+            accuracy,
+            mae,
+            n: errors.len(),
+        }
     }
 }
 
@@ -60,12 +67,17 @@ pub struct TokenEvalConfig {
 
 impl Default for TokenEvalConfig {
     fn default() -> Self {
-        TokenEvalConfig { removal_fraction: 0.25, threshold: 0.5, n_samples: 500, seed: 0 }
+        TokenEvalConfig {
+            removal_fraction: 0.25,
+            threshold: 0.5,
+            n_samples: 500,
+            seed: 0,
+        }
     }
 }
 
 /// Runs the token-based evaluation for one technique over a set of records.
-pub fn token_eval<M: MatchModel>(
+pub fn token_eval<M: MatchModel + Sync>(
     model: &M,
     schema: &Schema,
     records: &[&EntityPair],
@@ -77,7 +89,14 @@ pub fn token_eval<M: MatchModel>(
         .enumerate()
         .map(|(i, pair)| {
             let record_seed = config.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9);
-            explain_record(technique, model, schema, pair, config.n_samples, record_seed)
+            explain_record(
+                technique,
+                model,
+                schema,
+                pair,
+                config.n_samples,
+                record_seed,
+            )
         })
         .collect();
     token_eval_views(model, schema, &views_per_record, config)
@@ -85,7 +104,7 @@ pub fn token_eval<M: MatchModel>(
 
 /// Token-based evaluation over pre-computed explanations (one inner vec of
 /// views per record). Lets callers share explanations across evaluations.
-pub fn token_eval_views<M: MatchModel>(
+pub fn token_eval_views<M: MatchModel + Sync>(
     model: &M,
     schema: &Schema,
     views_per_record: &[Vec<crate::technique::ExplainedRecord>],
@@ -114,8 +133,7 @@ pub fn token_eval_views<M: MatchModel>(
             let actual = model.predict_proba(schema, &modified);
             let estimated = view.base_prediction - removed_weight;
             let err = (actual - estimated).abs();
-            let class_ok =
-                (actual >= config.threshold) == (estimated >= config.threshold);
+            let class_ok = (actual >= config.threshold) == (estimated >= config.threshold);
             errors.push((err, class_ok));
         }
     }
@@ -156,7 +174,10 @@ mod tests {
             &schema(),
             &records,
             Technique::Lime,
-            &TokenEvalConfig { n_samples: 600, ..Default::default() },
+            &TokenEvalConfig {
+                n_samples: 600,
+                ..Default::default()
+            },
         );
         assert!(r.mae < 0.05, "mae = {}", r.mae);
         assert_eq!(r.n, 1);
@@ -166,17 +187,17 @@ mod tests {
     fn right_landmark_view_is_faithful_for_left_only_model() {
         // With landmark = Right the varying (perturbed) entity is Left,
         // which is all the model looks at: that view should be faithful.
-        let pair = EntityPair::new(
-            Entity::new(vec!["a b c d e f"]),
-            Entity::new(vec!["x y"]),
-        );
+        let pair = EntityPair::new(Entity::new(vec!["a b c d e f"]), Entity::new(vec!["x y"]));
         let records = vec![&pair];
         let r = token_eval(
             &LinearTokenModel,
             &schema(),
             &records,
             Technique::LandmarkSingle,
-            &TokenEvalConfig { n_samples: 600, ..Default::default() },
+            &TokenEvalConfig {
+                n_samples: 600,
+                ..Default::default()
+            },
         );
         // Two views are averaged; the left-landmark view removes right
         // tokens which the model ignores (weights ~0, estimate = original,
@@ -221,14 +242,26 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let pair = EntityPair::new(
-            Entity::new(vec!["a b c d e"]),
-            Entity::new(vec!["x y z w"]),
-        );
+        let pair = EntityPair::new(Entity::new(vec!["a b c d e"]), Entity::new(vec!["x y z w"]));
         let records = vec![&pair];
-        let cfg = TokenEvalConfig { n_samples: 200, ..Default::default() };
-        let a = token_eval(&LinearTokenModel, &schema(), &records, Technique::Lime, &cfg);
-        let b = token_eval(&LinearTokenModel, &schema(), &records, Technique::Lime, &cfg);
+        let cfg = TokenEvalConfig {
+            n_samples: 200,
+            ..Default::default()
+        };
+        let a = token_eval(
+            &LinearTokenModel,
+            &schema(),
+            &records,
+            Technique::Lime,
+            &cfg,
+        );
+        let b = token_eval(
+            &LinearTokenModel,
+            &schema(),
+            &records,
+            Technique::Lime,
+            &cfg,
+        );
         assert_eq!(a, b);
     }
 
@@ -248,7 +281,10 @@ mod tests {
                 let g = |e: &Entity| -> HashSet<String> {
                     (0..schema.len())
                         .flat_map(|i| {
-                            e.value(i).split_whitespace().map(str::to_string).collect::<Vec<_>>()
+                            e.value(i)
+                                .split_whitespace()
+                                .map(str::to_string)
+                                .collect::<Vec<_>>()
                         })
                         .collect()
                 };
@@ -261,9 +297,17 @@ mod tests {
             }
         }
         let records = vec![&pair];
-        let cfg = TokenEvalConfig { n_samples: 400, ..Default::default() };
+        let cfg = TokenEvalConfig {
+            n_samples: 400,
+            ..Default::default()
+        };
         let lime = token_eval(&Overlap, &schema(), &records, Technique::Lime, &cfg);
         let copy = token_eval(&Overlap, &schema(), &records, Technique::MojitoCopy, &cfg);
-        assert!(copy.mae >= lime.mae, "copy {} vs lime {}", copy.mae, lime.mae);
+        assert!(
+            copy.mae >= lime.mae,
+            "copy {} vs lime {}",
+            copy.mae,
+            lime.mae
+        );
     }
 }

@@ -97,8 +97,15 @@ impl AnchorExplainer {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
 
         let mut anchor: Vec<usize> = Vec::new();
-        let mut best_precision =
-            self.estimate_precision(model, schema, &features, &anchor, prediction, schema.len(), &mut rng);
+        let mut best_precision = self.estimate_precision(
+            model,
+            schema,
+            &features,
+            &anchor,
+            prediction,
+            schema.len(),
+            &mut rng,
+        );
 
         while best_precision < self.config.precision_target
             && anchor.len() < self.config.max_anchor_size.min(features.len())
@@ -217,7 +224,10 @@ mod tests {
         // Both "key" tokens must be in the anchor (dropping either flips
         // the model half the time).
         let texts: Vec<&str> = e.anchor.iter().map(|(_, t)| t.text.as_str()).collect();
-        assert!(texts.iter().filter(|&&t| t == "key").count() >= 2, "{texts:?}");
+        assert!(
+            texts.iter().filter(|&&t| t == "key").count() >= 2,
+            "{texts:?}"
+        );
         // And the anchor should be small: the other tokens don't matter.
         assert!(e.anchor.len() <= 3, "{texts:?}");
     }
@@ -267,7 +277,11 @@ mod tests {
                 }
             }
         }
-        let cfg = AnchorConfig { max_anchor_size: 3, n_samples: 60, ..Default::default() };
+        let cfg = AnchorConfig {
+            max_anchor_size: 3,
+            n_samples: 60,
+            ..Default::default()
+        };
         let e = AnchorExplainer::new(cfg).explain(&Parity, &schema(), &pair);
         assert!(e.anchor.len() <= 3);
     }

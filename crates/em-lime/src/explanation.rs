@@ -34,7 +34,12 @@ impl PairExplanation {
     /// Token weights sorted by decreasing `|weight|`.
     pub fn ranked(&self) -> Vec<&TokenWeight> {
         let mut v: Vec<&TokenWeight> = self.token_weights.iter().collect();
-        v.sort_by(|a, b| b.weight.abs().partial_cmp(&a.weight.abs()).expect("weights are finite"));
+        v.sort_by(|a, b| {
+            b.weight
+                .abs()
+                .partial_cmp(&a.weight.abs())
+                .expect("weights are finite")
+        });
         v
     }
 
@@ -45,12 +50,18 @@ impl PairExplanation {
 
     /// Tokens with strictly positive weight (pushing towards match).
     pub fn positive_tokens(&self) -> Vec<&TokenWeight> {
-        self.token_weights.iter().filter(|t| t.weight > 0.0).collect()
+        self.token_weights
+            .iter()
+            .filter(|t| t.weight > 0.0)
+            .collect()
     }
 
     /// Tokens with strictly negative weight (pushing towards non-match).
     pub fn negative_tokens(&self) -> Vec<&TokenWeight> {
-        self.token_weights.iter().filter(|t| t.weight < 0.0).collect()
+        self.token_weights
+            .iter()
+            .filter(|t| t.weight < 0.0)
+            .collect()
     }
 
     /// Sum of `|token weight|` per attribute — the quantity the paper's
@@ -95,10 +106,26 @@ mod tests {
     fn explanation() -> PairExplanation {
         PairExplanation {
             token_weights: vec![
-                TokenWeight { side: EntitySide::Left, token: Token::new(0, 0, "sony"), weight: 0.5 },
-                TokenWeight { side: EntitySide::Left, token: Token::new(1, 0, "lens"), weight: -0.8 },
-                TokenWeight { side: EntitySide::Right, token: Token::new(0, 0, "nikon"), weight: 0.1 },
-                TokenWeight { side: EntitySide::Right, token: Token::new(1, 1, "case"), weight: -0.2 },
+                TokenWeight {
+                    side: EntitySide::Left,
+                    token: Token::new(0, 0, "sony"),
+                    weight: 0.5,
+                },
+                TokenWeight {
+                    side: EntitySide::Left,
+                    token: Token::new(1, 0, "lens"),
+                    weight: -0.8,
+                },
+                TokenWeight {
+                    side: EntitySide::Right,
+                    token: Token::new(0, 0, "nikon"),
+                    weight: 0.1,
+                },
+                TokenWeight {
+                    side: EntitySide::Right,
+                    token: Token::new(1, 1, "case"),
+                    weight: -0.2,
+                },
             ],
             intercept: 0.3,
             model_prediction: 0.12,

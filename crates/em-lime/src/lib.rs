@@ -27,6 +27,7 @@ pub mod sampler;
 pub mod surrogate;
 
 pub use anchor::{AnchorConfig, AnchorExplainer, AnchorExplanation};
+pub use em_par::ParallelismConfig;
 pub use explanation::{PairExplanation, TokenWeight};
 pub use lime::{LimeConfig, LimeExplainer};
 pub use mojito::{MojitoCopyConfig, MojitoCopyExplainer};

@@ -7,6 +7,7 @@
 //! perturbations*), and which Landmark Explanation fixes one crate up.
 
 use em_entity::{detokenize, tokenize_pair, EntityPair, EntitySide, MatchModel, Schema, Token};
+use em_par::ParallelismConfig;
 
 use crate::explanation::{PairExplanation, TokenWeight};
 use crate::sampler::MaskSampler;
@@ -21,11 +22,19 @@ pub struct LimeConfig {
     pub surrogate: SurrogateConfig,
     /// RNG seed for mask sampling.
     pub seed: u64,
+    /// Thread-pool settings for scoring the reconstructions. Sampling stays
+    /// serial, so any setting yields bit-identical explanations.
+    pub parallelism: ParallelismConfig,
 }
 
 impl Default for LimeConfig {
     fn default() -> Self {
-        LimeConfig { n_samples: 500, surrogate: SurrogateConfig::default(), seed: 0 }
+        LimeConfig {
+            n_samples: 500,
+            surrogate: SurrogateConfig::default(),
+            seed: 0,
+            parallelism: ParallelismConfig::serial(),
+        }
     }
 }
 
@@ -45,7 +54,7 @@ impl LimeExplainer {
 
     /// Explains one record: perturbs tokens of both entities, scores the
     /// reconstructions with `model`, and fits the surrogate.
-    pub fn explain<M: MatchModel>(
+    pub fn explain<M: MatchModel + Sync>(
         &self,
         model: &M,
         schema: &Schema,
@@ -58,18 +67,23 @@ impl LimeExplainer {
             .chain(right_tokens.into_iter().map(|t| (EntitySide::Right, t)))
             .collect();
 
-        let masks = MaskSampler::new(self.config.seed).sample(features.len(), self.config.n_samples);
+        let masks =
+            MaskSampler::new(self.config.seed).sample(features.len(), self.config.n_samples);
         let reconstructed: Vec<EntityPair> = masks
             .iter()
             .map(|mask| reconstruct_pair(&features, mask, schema.len()))
             .collect();
-        let probs = model.predict_proba_batch(schema, &reconstructed);
+        let probs = model.par_predict_proba_batch(schema, &reconstructed, &self.config.parallelism);
         let fit = fit_surrogate(&masks, &probs, &self.config.surrogate);
 
         let token_weights = features
             .into_iter()
             .zip(&fit.coefficients)
-            .map(|((side, token), &weight)| TokenWeight { side, token, weight })
+            .map(|((side, token), &weight)| TokenWeight {
+                side,
+                token,
+                weight,
+            })
             .collect();
         let model_prediction = probs.first().copied().unwrap_or(0.0);
         let surrogate_prediction = fit.intercept + fit.coefficients.iter().sum::<f64>();
@@ -100,7 +114,10 @@ pub(crate) fn reconstruct_pair(
             }
         }
     }
-    EntityPair::new(detokenize(&left_kept, n_attributes), detokenize(&right_kept, n_attributes))
+    EntityPair::new(
+        detokenize(&left_kept, n_attributes),
+        detokenize(&right_kept, n_attributes),
+    )
 }
 
 #[cfg(test)]
@@ -117,7 +134,12 @@ mod tests {
             use std::collections::HashSet;
             let collect = |e: &Entity| -> HashSet<String> {
                 (0..schema.len())
-                    .flat_map(|i| e.value(i).split_whitespace().map(str::to_string).collect::<Vec<_>>())
+                    .flat_map(|i| {
+                        e.value(i)
+                            .split_whitespace()
+                            .map(str::to_string)
+                            .collect::<Vec<_>>()
+                    })
                     .collect()
             };
             let a = collect(&pair.left);
@@ -158,8 +180,11 @@ mod tests {
 
     #[test]
     fn shared_tokens_get_positive_weight() {
-        let e = LimeExplainer::new(LimeConfig { n_samples: 1000, ..Default::default() })
-            .explain(&JaccardModel, &schema(), &pair());
+        let e = LimeExplainer::new(LimeConfig {
+            n_samples: 1000,
+            ..Default::default()
+        })
+        .explain(&JaccardModel, &schema(), &pair());
         // "sony" and "camera" appear on both sides: dropping them lowers
         // Jaccard, so their weights should be positive.
         for tw in &e.token_weights {
@@ -171,8 +196,11 @@ mod tests {
 
     #[test]
     fn unshared_tokens_get_negative_weight() {
-        let e = LimeExplainer::new(LimeConfig { n_samples: 1000, ..Default::default() })
-            .explain(&JaccardModel, &schema(), &pair());
+        let e = LimeExplainer::new(LimeConfig {
+            n_samples: 1000,
+            ..Default::default()
+        })
+        .explain(&JaccardModel, &schema(), &pair());
         for tw in &e.token_weights {
             if tw.text_is("digital") || tw.text_is("849.99") || tw.text_is("kit") {
                 assert!(tw.weight < 0.0, "{tw:?}");
@@ -189,10 +217,16 @@ mod tests {
 
     #[test]
     fn different_seed_changes_weights_slightly() {
-        let a = LimeExplainer::new(LimeConfig { seed: 1, ..Default::default() })
-            .explain(&JaccardModel, &schema(), &pair());
-        let b = LimeExplainer::new(LimeConfig { seed: 2, ..Default::default() })
-            .explain(&JaccardModel, &schema(), &pair());
+        let a = LimeExplainer::new(LimeConfig {
+            seed: 1,
+            ..Default::default()
+        })
+        .explain(&JaccardModel, &schema(), &pair());
+        let b = LimeExplainer::new(LimeConfig {
+            seed: 2,
+            ..Default::default()
+        })
+        .explain(&JaccardModel, &schema(), &pair());
         assert_ne!(a.token_weights, b.token_weights);
     }
 
@@ -217,8 +251,11 @@ mod tests {
 
     #[test]
     fn surrogate_r2_is_reasonable_for_smooth_model() {
-        let e = LimeExplainer::new(LimeConfig { n_samples: 800, ..Default::default() })
-            .explain(&JaccardModel, &schema(), &pair());
+        let e = LimeExplainer::new(LimeConfig {
+            n_samples: 800,
+            ..Default::default()
+        })
+        .explain(&JaccardModel, &schema(), &pair());
         assert!(e.surrogate_r2 > 0.5, "r2 = {}", e.surrogate_r2);
     }
 

@@ -10,6 +10,7 @@
 //! [`PairExplanation`].
 
 use em_entity::{tokenize_entity, EntityPair, EntitySide, MatchModel, Schema};
+use em_par::ParallelismConfig;
 
 use crate::explanation::{PairExplanation, TokenWeight};
 use crate::sampler::MaskSampler;
@@ -27,6 +28,9 @@ pub struct MojitoCopyConfig {
     pub surrogate: SurrogateConfig,
     /// RNG seed.
     pub seed: u64,
+    /// Thread-pool settings for scoring the reconstructions. Sampling stays
+    /// serial, so any setting yields bit-identical explanations.
+    pub parallelism: ParallelismConfig,
 }
 
 impl Default for MojitoCopyConfig {
@@ -36,6 +40,7 @@ impl Default for MojitoCopyConfig {
             copy_into: EntitySide::Right,
             surrogate: SurrogateConfig::default(),
             seed: 0,
+            parallelism: ParallelismConfig::serial(),
         }
     }
 }
@@ -63,7 +68,7 @@ impl MojitoCopyExplainer {
     /// equally to its constituent tokens": the attribute coefficient is
     /// spread uniformly over the tokens of the *replaced* (`copy_into`)
     /// side — the tokens the copy perturbation actually substitutes.
-    pub fn explain<M: MatchModel>(
+    pub fn explain<M: MatchModel + Sync>(
         &self,
         model: &M,
         schema: &Schema,
@@ -85,7 +90,7 @@ impl MojitoCopyExplainer {
                 p
             })
             .collect();
-        let probs = model.predict_proba_batch(schema, &reconstructed);
+        let probs = model.par_predict_proba_batch(schema, &reconstructed, &self.config.parallelism);
         let fit = fit_surrogate(&masks, &probs, &self.config.surrogate);
 
         // Distribute each attribute's coefficient uniformly over the tokens
@@ -93,8 +98,10 @@ impl MojitoCopyExplainer {
         let mut token_weights = Vec::new();
         let replaced_tokens = tokenize_entity(pair.entity(self.config.copy_into));
         for (attr, &attr_weight) in fit.coefficients.iter().enumerate() {
-            let attr_tokens: Vec<&em_entity::Token> =
-                replaced_tokens.iter().filter(|t| t.attribute == attr).collect();
+            let attr_tokens: Vec<&em_entity::Token> = replaced_tokens
+                .iter()
+                .filter(|t| t.attribute == attr)
+                .collect();
             if attr_tokens.is_empty() {
                 continue;
             }
@@ -169,7 +176,8 @@ mod tests {
 
     #[test]
     fn token_weights_within_attribute_are_equal() {
-        let e = MojitoCopyExplainer::default().explain(&ExactModel, &schema(), &non_matching_pair());
+        let e =
+            MojitoCopyExplainer::default().explain(&ExactModel, &schema(), &non_matching_pair());
         // Attribute 0's replaced side (right) has 2 tokens: equal weights.
         let w: Vec<f64> = e
             .token_weights
@@ -185,7 +193,8 @@ mod tests {
 
     #[test]
     fn attribute_importance_reflects_attribute_coefficient() {
-        let e = MojitoCopyExplainer::default().explain(&ExactModel, &schema(), &non_matching_pair());
+        let e =
+            MojitoCopyExplainer::default().explain(&ExactModel, &schema(), &non_matching_pair());
         let imp = e.attribute_importance(&schema());
         // Every attribute contributes 1/3 to the ExactModel, so importances
         // should be roughly equal.
@@ -222,9 +231,15 @@ mod tests {
         let pair = non_matching_pair();
         // Copying into Right never touches the left entity: flat model.
         let into_right = MojitoCopyExplainer::default().explain(&LeftOnlyModel, &schema(), &pair);
-        assert!(into_right.token_weights.iter().all(|t| t.weight.abs() < 1e-9));
+        assert!(into_right
+            .token_weights
+            .iter()
+            .all(|t| t.weight.abs() < 1e-9));
         // Copying into Left overwrites "sony camera" with "nikon case".
-        let cfg = MojitoCopyConfig { copy_into: EntitySide::Left, ..Default::default() };
+        let cfg = MojitoCopyConfig {
+            copy_into: EntitySide::Left,
+            ..Default::default()
+        };
         let into_left = MojitoCopyExplainer::new(cfg).explain(&LeftOnlyModel, &schema(), &pair);
         let name_importance = into_left.attribute_importance(&schema())[0];
         assert!(name_importance > 0.1, "{name_importance}");
@@ -232,8 +247,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = MojitoCopyExplainer::default().explain(&ExactModel, &schema(), &non_matching_pair());
-        let b = MojitoCopyExplainer::default().explain(&ExactModel, &schema(), &non_matching_pair());
+        let a =
+            MojitoCopyExplainer::default().explain(&ExactModel, &schema(), &non_matching_pair());
+        let b =
+            MojitoCopyExplainer::default().explain(&ExactModel, &schema(), &non_matching_pair());
         assert_eq!(a.token_weights, b.token_weights);
     }
 }

@@ -19,7 +19,9 @@ pub struct MaskSampler {
 impl MaskSampler {
     /// Creates a sampler from a seed.
     pub fn new(seed: u64) -> Self {
-        MaskSampler { rng: StdRng::seed_from_u64(seed) }
+        MaskSampler {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Draws `n_samples` masks of width `n_features`.

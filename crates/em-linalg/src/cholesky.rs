@@ -155,7 +155,10 @@ mod tests {
     #[test]
     fn rejects_empty() {
         let a = Matrix::zeros(0, 0);
-        assert!(matches!(Cholesky::decompose(&a), Err(LinalgError::EmptyInput)));
+        assert!(matches!(
+            Cholesky::decompose(&a),
+            Err(LinalgError::EmptyInput)
+        ));
     }
 
     #[test]

@@ -38,7 +38,11 @@ pub fn cosine_distance(a: &[f64], b: &[f64]) -> f64 {
 /// Euclidean distance between two vectors.
 pub fn euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Default kernel width used by LIME for text: `0.25 * sqrt(d)` where `d` is

@@ -26,7 +26,12 @@ pub struct LassoConfig {
 
 impl Default for LassoConfig {
     fn default() -> Self {
-        LassoConfig { lambda: 0.01, fit_intercept: true, max_iter: 1000, tol: 1e-8 }
+        LassoConfig {
+            lambda: 0.01,
+            fit_intercept: true,
+            max_iter: 1000,
+            tol: 1e-8,
+        }
     }
 }
 
@@ -72,14 +77,23 @@ fn soft_threshold(z: f64, g: f64) -> f64 {
 
 /// Fits weighted lasso regression with cyclic coordinate descent.
 #[allow(clippy::needless_range_loop)] // index arithmetic mirrors the math
-pub fn lasso_fit(x: &Matrix, y: &[f64], weights: &[f64], config: &LassoConfig) -> Result<LassoModel> {
+pub fn lasso_fit(
+    x: &Matrix,
+    y: &[f64],
+    weights: &[f64],
+    config: &LassoConfig,
+) -> Result<LassoModel> {
     let n = x.rows();
     let d = x.cols();
     if n == 0 || d == 0 {
         return Err(LinalgError::EmptyInput);
     }
     if y.len() != n {
-        return Err(LinalgError::DimensionMismatch { op: "lasso_fit(y)", expected: n, actual: y.len() });
+        return Err(LinalgError::DimensionMismatch {
+            op: "lasso_fit(y)",
+            expected: n,
+            actual: y.len(),
+        });
     }
     if weights.len() != n {
         return Err(LinalgError::DimensionMismatch {
@@ -160,7 +174,10 @@ pub fn lasso_fit(x: &Matrix, y: &[f64], weights: &[f64], config: &LassoConfig) -
             break;
         }
         if it + 1 == config.max_iter && max_delta >= config.tol * 100.0 {
-            return Err(LinalgError::DidNotConverge { iterations, last_delta: max_delta });
+            return Err(LinalgError::DidNotConverge {
+                iterations,
+                last_delta: max_delta,
+            });
         }
     }
 
@@ -169,7 +186,11 @@ pub fn lasso_fit(x: &Matrix, y: &[f64], weights: &[f64], config: &LassoConfig) -
     } else {
         0.0
     };
-    Ok(LassoModel { intercept, coefficients: beta, iterations })
+    Ok(LassoModel {
+        intercept,
+        coefficients: beta,
+        iterations,
+    })
 }
 
 #[cfg(test)]
@@ -198,8 +219,19 @@ mod tests {
             vec![0.5, -1.0],
         ])
         .unwrap();
-        let y: Vec<f64> = (0..5).map(|r| 1.0 + 2.0 * x.get(r, 0) - 3.0 * x.get(r, 1)).collect();
-        let m = lasso_fit(&x, &y, &ones(5), &LassoConfig { lambda: 1e-10, ..Default::default() }).unwrap();
+        let y: Vec<f64> = (0..5)
+            .map(|r| 1.0 + 2.0 * x.get(r, 0) - 3.0 * x.get(r, 1))
+            .collect();
+        let m = lasso_fit(
+            &x,
+            &y,
+            &ones(5),
+            &LassoConfig {
+                lambda: 1e-10,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!((m.intercept - 1.0).abs() < 1e-4, "{m:?}");
         assert!((m.coefficients[0] - 2.0).abs() < 1e-4);
         assert!((m.coefficients[1] + 3.0).abs() < 1e-4);
@@ -209,7 +241,16 @@ mod tests {
     fn large_lambda_zeros_everything() {
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]).unwrap();
         let y = vec![0.0, 1.0, 2.0];
-        let m = lasso_fit(&x, &y, &ones(3), &LassoConfig { lambda: 100.0, ..Default::default() }).unwrap();
+        let m = lasso_fit(
+            &x,
+            &y,
+            &ones(3),
+            &LassoConfig {
+                lambda: 100.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(m.coefficients, vec![0.0]);
         assert!(m.active_set().is_empty());
     }
@@ -226,7 +267,16 @@ mod tests {
         ])
         .unwrap();
         let y = vec![0.0, 2.0, 4.0, 6.0, 8.0];
-        let m = lasso_fit(&x, &y, &ones(5), &LassoConfig { lambda: 0.05, ..Default::default() }).unwrap();
+        let m = lasso_fit(
+            &x,
+            &y,
+            &ones(5),
+            &LassoConfig {
+                lambda: 0.05,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(m.coefficients[0] > 1.0, "{m:?}");
         assert_eq!(m.coefficients[1], 0.0, "{m:?}");
         assert_eq!(m.active_set(), vec![0]);
@@ -236,8 +286,26 @@ mod tests {
     fn weighted_samples_dominate() {
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![0.0], vec![1.0]]).unwrap();
         let y = vec![0.0, 1.0, 0.0, 5.0];
-        let a = lasso_fit(&x, &y, &[10.0, 10.0, 0.01, 0.01], &LassoConfig { lambda: 1e-6, ..Default::default() }).unwrap();
-        let b = lasso_fit(&x, &y, &[0.01, 0.01, 10.0, 10.0], &LassoConfig { lambda: 1e-6, ..Default::default() }).unwrap();
+        let a = lasso_fit(
+            &x,
+            &y,
+            &[10.0, 10.0, 0.01, 0.01],
+            &LassoConfig {
+                lambda: 1e-6,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let b = lasso_fit(
+            &x,
+            &y,
+            &[0.01, 0.01, 10.0, 10.0],
+            &LassoConfig {
+                lambda: 1e-6,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(a.coefficients[0] < b.coefficients[0]);
     }
 
@@ -245,7 +313,16 @@ mod tests {
     fn constant_column_gets_zero_coefficient() {
         let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0]]).unwrap();
         let y = vec![0.0, 1.0, 2.0];
-        let m = lasso_fit(&x, &y, &ones(3), &LassoConfig { lambda: 1e-8, ..Default::default() }).unwrap();
+        let m = lasso_fit(
+            &x,
+            &y,
+            &ones(3),
+            &LassoConfig {
+                lambda: 1e-8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(m.coefficients[0], 0.0);
         assert!((m.coefficients[1] - 1.0).abs() < 1e-4);
     }

@@ -70,14 +70,24 @@ pub enum LinalgError {
 impl std::fmt::Display for LinalgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LinalgError::DimensionMismatch { op, expected, actual } => {
-                write!(f, "dimension mismatch in {op}: expected {expected}, got {actual}")
+            LinalgError::DimensionMismatch {
+                op,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "dimension mismatch in {op}: expected {expected}, got {actual}"
+                )
             }
             LinalgError::NotPositiveDefinite { pivot } => {
                 write!(f, "matrix is not positive definite (pivot {pivot})")
             }
             LinalgError::EmptyInput => write!(f, "empty input"),
-            LinalgError::DidNotConverge { iterations, last_delta } => {
+            LinalgError::DidNotConverge {
+                iterations,
+                last_delta,
+            } => {
                 write!(f, "solver did not converge after {iterations} iterations (last delta {last_delta:e})")
             }
         }

@@ -95,7 +95,13 @@ impl LogisticModel {
 
         let sample_w: Vec<f64> = y
             .iter()
-            .map(|&l| if l { config.class_weights.1 } else { config.class_weights.0 })
+            .map(|&l| {
+                if l {
+                    config.class_weights.1
+                } else {
+                    config.class_weights.0
+                }
+            })
             .collect();
         let wsum: f64 = sample_w.iter().sum();
 
@@ -135,7 +141,10 @@ impl LogisticModel {
                 *g = *g / wsum + config.lambda * b;
             }
 
-            let gmax = grad.iter().chain(std::iter::once(&grad0)).fold(0.0f64, |m, g| m.max(g.abs()));
+            let gmax = grad
+                .iter()
+                .chain(std::iter::once(&grad0))
+                .fold(0.0f64, |m, g| m.max(g.abs()));
             if gmax < config.tol {
                 break;
             }
@@ -156,7 +165,11 @@ impl LogisticModel {
                 lr *= 0.5;
             }
         }
-        Ok(LogisticModel { intercept, coefficients: beta, iterations })
+        Ok(LogisticModel {
+            intercept,
+            coefficients: beta,
+            iterations,
+        })
     }
 
     /// Probability of the positive class for a single feature vector.
@@ -171,7 +184,9 @@ impl LogisticModel {
 
     /// Probabilities for every row of a design matrix.
     pub fn predict_proba_matrix(&self, x: &Matrix) -> Vec<f64> {
-        (0..x.rows()).map(|r| self.predict_proba(x.row(r))).collect()
+        (0..x.rows())
+            .map(|r| self.predict_proba(x.row(r)))
+            .collect()
     }
 }
 
@@ -238,8 +253,24 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
         let x = Matrix::from_rows(&rows).unwrap();
         let y: Vec<bool> = (0..20).map(|i| i >= 10).collect();
-        let weak = LogisticModel::fit(&x, &y, &LogisticConfig { lambda: 1e-6, ..Default::default() }).unwrap();
-        let strong = LogisticModel::fit(&x, &y, &LogisticConfig { lambda: 10.0, ..Default::default() }).unwrap();
+        let weak = LogisticModel::fit(
+            &x,
+            &y,
+            &LogisticConfig {
+                lambda: 1e-6,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let strong = LogisticModel::fit(
+            &x,
+            &y,
+            &LogisticConfig {
+                lambda: 10.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(strong.coefficients[0].abs() < weak.coefficients[0].abs());
     }
 

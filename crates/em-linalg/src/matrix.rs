@@ -16,7 +16,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a matrix of the given shape filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates an identity matrix of size `n`.
@@ -61,7 +65,11 @@ impl Matrix {
             }
             data.extend_from_slice(r);
         }
-        Ok(Matrix { rows: rows.len(), cols, data })
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -110,7 +118,9 @@ impl Matrix {
     /// Copies column `c` into a new vector.
     pub fn col(&self, c: usize) -> Vec<f64> {
         assert!(c < self.cols, "column index out of bounds");
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Raw row-major data.

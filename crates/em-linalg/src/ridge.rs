@@ -24,7 +24,10 @@ pub struct RidgeConfig {
 
 impl Default for RidgeConfig {
     fn default() -> Self {
-        RidgeConfig { lambda: 1.0, fit_intercept: true }
+        RidgeConfig {
+            lambda: 1.0,
+            fit_intercept: true,
+        }
     }
 }
 
@@ -59,14 +62,23 @@ impl RidgeModel {
 ///
 /// With `fit_intercept`, the data is first centered with the weighted means
 /// so the intercept stays unpenalized.
-pub fn ridge_fit(x: &Matrix, y: &[f64], weights: &[f64], config: &RidgeConfig) -> Result<RidgeModel> {
+pub fn ridge_fit(
+    x: &Matrix,
+    y: &[f64],
+    weights: &[f64],
+    config: &RidgeConfig,
+) -> Result<RidgeModel> {
     let n = x.rows();
     let d = x.cols();
     if n == 0 || d == 0 {
         return Err(LinalgError::EmptyInput);
     }
     if y.len() != n {
-        return Err(LinalgError::DimensionMismatch { op: "ridge_fit(y)", expected: n, actual: y.len() });
+        return Err(LinalgError::DimensionMismatch {
+            op: "ridge_fit(y)",
+            expected: n,
+            actual: y.len(),
+        });
     }
     if weights.len() != n {
         return Err(LinalgError::DimensionMismatch {
@@ -129,7 +141,10 @@ pub fn ridge_fit(x: &Matrix, y: &[f64], weights: &[f64], config: &RidgeConfig) -
     } else {
         0.0
     };
-    Ok(RidgeModel { intercept, coefficients })
+    Ok(RidgeModel {
+        intercept,
+        coefficients,
+    })
 }
 
 #[cfg(test)]
@@ -151,8 +166,19 @@ mod tests {
             vec![2.0, -1.0],
         ])
         .unwrap();
-        let y: Vec<f64> = (0..x.rows()).map(|r| 2.0 + 3.0 * x.get(r, 0) - x.get(r, 1)).collect();
-        let m = ridge_fit(&x, &y, &ones(5), &RidgeConfig { lambda: 1e-9, fit_intercept: true }).unwrap();
+        let y: Vec<f64> = (0..x.rows())
+            .map(|r| 2.0 + 3.0 * x.get(r, 0) - x.get(r, 1))
+            .collect();
+        let m = ridge_fit(
+            &x,
+            &y,
+            &ones(5),
+            &RidgeConfig {
+                lambda: 1e-9,
+                fit_intercept: true,
+            },
+        )
+        .unwrap();
         assert!((m.intercept - 2.0).abs() < 1e-5, "{m:?}");
         assert!((m.coefficients[0] - 3.0).abs() < 1e-5);
         assert!((m.coefficients[1] + 1.0).abs() < 1e-5);
@@ -162,8 +188,26 @@ mod tests {
     fn shrinkage_reduces_coefficient_magnitude() {
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
         let y = vec![0.0, 2.0, 4.0, 6.0];
-        let low = ridge_fit(&x, &y, &ones(4), &RidgeConfig { lambda: 0.01, fit_intercept: true }).unwrap();
-        let high = ridge_fit(&x, &y, &ones(4), &RidgeConfig { lambda: 100.0, fit_intercept: true }).unwrap();
+        let low = ridge_fit(
+            &x,
+            &y,
+            &ones(4),
+            &RidgeConfig {
+                lambda: 0.01,
+                fit_intercept: true,
+            },
+        )
+        .unwrap();
+        let high = ridge_fit(
+            &x,
+            &y,
+            &ones(4),
+            &RidgeConfig {
+                lambda: 100.0,
+                fit_intercept: true,
+            },
+        )
+        .unwrap();
         assert!(high.coefficients[0].abs() < low.coefficients[0].abs());
         assert!(low.coefficients[0] > 1.5); // close to the true slope of 2
     }
@@ -173,7 +217,16 @@ mod tests {
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![100.0]]).unwrap();
         let y = vec![0.0, 1.0, 2.0, -500.0]; // outlier with zero weight
         let w = vec![1.0, 1.0, 1.0, 0.0];
-        let m = ridge_fit(&x, &y, &w, &RidgeConfig { lambda: 1e-6, fit_intercept: true }).unwrap();
+        let m = ridge_fit(
+            &x,
+            &y,
+            &w,
+            &RidgeConfig {
+                lambda: 1e-6,
+                fit_intercept: true,
+            },
+        )
+        .unwrap();
         assert!((m.coefficients[0] - 1.0).abs() < 1e-4, "{m:?}");
     }
 
@@ -182,8 +235,26 @@ mod tests {
         // Two inconsistent slopes; weighting one pair heavily should pull the fit.
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![0.0], vec![1.0]]).unwrap();
         let y = vec![0.0, 1.0, 0.0, 3.0];
-        let m_heavy_a = ridge_fit(&x, &y, &[10.0, 10.0, 0.1, 0.1], &RidgeConfig { lambda: 1e-6, fit_intercept: true }).unwrap();
-        let m_heavy_b = ridge_fit(&x, &y, &[0.1, 0.1, 10.0, 10.0], &RidgeConfig { lambda: 1e-6, fit_intercept: true }).unwrap();
+        let m_heavy_a = ridge_fit(
+            &x,
+            &y,
+            &[10.0, 10.0, 0.1, 0.1],
+            &RidgeConfig {
+                lambda: 1e-6,
+                fit_intercept: true,
+            },
+        )
+        .unwrap();
+        let m_heavy_b = ridge_fit(
+            &x,
+            &y,
+            &[0.1, 0.1, 10.0, 10.0],
+            &RidgeConfig {
+                lambda: 1e-6,
+                fit_intercept: true,
+            },
+        )
+        .unwrap();
         assert!(m_heavy_a.coefficients[0] < m_heavy_b.coefficients[0]);
     }
 
@@ -191,7 +262,16 @@ mod tests {
     fn no_intercept_passes_through_origin() {
         let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
         let y = vec![2.0, 4.0];
-        let m = ridge_fit(&x, &y, &ones(2), &RidgeConfig { lambda: 1e-9, fit_intercept: false }).unwrap();
+        let m = ridge_fit(
+            &x,
+            &y,
+            &ones(2),
+            &RidgeConfig {
+                lambda: 1e-9,
+                fit_intercept: false,
+            },
+        )
+        .unwrap();
         assert_eq!(m.intercept, 0.0);
         assert!((m.coefficients[0] - 2.0).abs() < 1e-5);
     }
@@ -201,7 +281,16 @@ mod tests {
         // Columns are identical -> singular Gram matrix without the ridge term.
         let x = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]).unwrap();
         let y = vec![2.0, 4.0, 6.0];
-        let m = ridge_fit(&x, &y, &ones(3), &RidgeConfig { lambda: 0.1, fit_intercept: true }).unwrap();
+        let m = ridge_fit(
+            &x,
+            &y,
+            &ones(3),
+            &RidgeConfig {
+                lambda: 0.1,
+                fit_intercept: true,
+            },
+        )
+        .unwrap();
         // The two coefficients should split the slope symmetrically.
         assert!((m.coefficients[0] - m.coefficients[1]).abs() < 1e-8);
     }
@@ -221,7 +310,10 @@ mod tests {
 
     #[test]
     fn predict_matrix_matches_predict() {
-        let m = RidgeModel { intercept: 1.0, coefficients: vec![2.0, -1.0] };
+        let m = RidgeModel {
+            intercept: 1.0,
+            coefficients: vec![2.0, -1.0],
+        };
         let x = Matrix::from_rows(&[vec![1.0, 1.0], vec![0.0, 3.0]]).unwrap();
         assert_eq!(m.predict_matrix(&x), vec![2.0, -2.0]);
     }

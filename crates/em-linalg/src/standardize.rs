@@ -64,7 +64,11 @@ impl Standardizer {
 
     /// Standardizes a single feature vector.
     pub fn transform_row(&self, x: &[f64]) -> Vec<f64> {
-        x.iter().zip(&self.means).zip(&self.stds).map(|((v, m), s)| (v - m) / s).collect()
+        x.iter()
+            .zip(&self.means)
+            .zip(&self.stds)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect()
     }
 }
 
@@ -74,14 +78,21 @@ mod tests {
 
     #[test]
     fn fit_transform_gives_zero_mean_unit_std() {
-        let x = Matrix::from_rows(&[vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0], vec![4.0, 40.0]]).unwrap();
+        let x = Matrix::from_rows(&[
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+            vec![4.0, 40.0],
+        ])
+        .unwrap();
         let st = Standardizer::fit(&x).unwrap();
         let mut z = x.clone();
         st.transform(&mut z);
         for c in 0..2 {
             let col = z.col(c);
             let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
-            let var: f64 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / col.len() as f64;
+            let var: f64 =
+                col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / col.len() as f64;
             assert!(mean.abs() < 1e-12);
             assert!((var - 1.0).abs() < 1e-10);
         }

@@ -6,8 +6,8 @@
 //! models, and serve as sanity comparators in the benches.
 
 use em_entity::{EntityPair, MatchModel, Schema};
-use em_text::tokens::normalized_tokens;
 use em_text::jaccard;
+use em_text::tokens::normalized_tokens;
 
 /// Declares a match when the mean per-attribute token-Jaccard similarity
 /// reaches a threshold. The "probability" is the mean similarity itself.

@@ -57,8 +57,17 @@ impl MatchQuality {
 }
 
 /// Evaluates a matcher on a dataset at a given decision threshold.
-pub fn evaluate_matcher<M: MatchModel>(model: &M, dataset: &EmDataset, threshold: f64) -> MatchQuality {
-    let mut q = MatchQuality { tp: 0, fp: 0, fn_: 0, tn: 0 };
+pub fn evaluate_matcher<M: MatchModel>(
+    model: &M,
+    dataset: &EmDataset,
+    threshold: f64,
+) -> MatchQuality {
+    let mut q = MatchQuality {
+        tp: 0,
+        fp: 0,
+        fn_: 0,
+        tn: 0,
+    };
     let schema = dataset.schema();
     for r in dataset.records() {
         let predicted = model.predict_with_threshold(schema, &r.pair, threshold);
@@ -122,7 +131,12 @@ mod tests {
 
     #[test]
     fn quality_arithmetic() {
-        let q = MatchQuality { tp: 8, fp: 2, fn_: 4, tn: 6 };
+        let q = MatchQuality {
+            tp: 8,
+            fp: 2,
+            fn_: 4,
+            tn: 6,
+        };
         assert!((q.precision() - 0.8).abs() < 1e-12);
         assert!((q.recall() - 8.0 / 12.0).abs() < 1e-12);
         assert!((q.accuracy() - 0.7).abs() < 1e-12);
@@ -132,7 +146,12 @@ mod tests {
 
     #[test]
     fn degenerate_quality_is_zero_not_nan() {
-        let q = MatchQuality { tp: 0, fp: 0, fn_: 0, tn: 0 };
+        let q = MatchQuality {
+            tp: 0,
+            fp: 0,
+            fn_: 0,
+            tn: 0,
+        };
         assert_eq!(q.precision(), 0.0);
         assert_eq!(q.recall(), 0.0);
         assert_eq!(q.f1(), 0.0);

@@ -10,7 +10,10 @@ use em_entity::schema::AttributeKind;
 use em_entity::{EmDataset, EntityPair, Schema};
 use em_text::monge_elkan::monge_elkan_symmetric;
 use em_text::tokens::normalized_tokens;
-use em_text::{jaccard, jaro_winkler, levenshtein_similarity, numeric_similarity, TfIdfVectorizer, TfIdfVectorizerBuilder};
+use em_text::{
+    jaccard, jaro_winkler, levenshtein_similarity, numeric_similarity, TfIdfVectorizer,
+    TfIdfVectorizerBuilder,
+};
 
 /// A fitted feature extractor.
 ///
@@ -37,7 +40,10 @@ impl FeatureExtractor {
                 }
             }
         }
-        FeatureExtractor { vectorizer: builder.build(), n_attributes: dataset.schema().len() }
+        FeatureExtractor {
+            vectorizer: builder.build(),
+            n_attributes: dataset.schema().len(),
+        }
     }
 
     /// Number of features produced (= number of schema attributes).
@@ -117,10 +123,22 @@ mod tests {
 
     fn product_schema() -> Schema {
         Schema::new(vec![
-            Attribute { name: "name".into(), kind: AttributeKind::Name },
-            Attribute { name: "description".into(), kind: AttributeKind::Text },
-            Attribute { name: "price".into(), kind: AttributeKind::Numeric },
-            Attribute { name: "model".into(), kind: AttributeKind::Code },
+            Attribute {
+                name: "name".into(),
+                kind: AttributeKind::Name,
+            },
+            Attribute {
+                name: "description".into(),
+                kind: AttributeKind::Text,
+            },
+            Attribute {
+                name: "price".into(),
+                kind: AttributeKind::Numeric,
+            },
+            Attribute {
+                name: "model".into(),
+                kind: AttributeKind::Code,
+            },
         ])
     }
 
@@ -137,7 +155,12 @@ mod tests {
             schema,
             vec![
                 mk(
-                    ["sony camera", "digital slr camera with lens", "849.99", "dslra200w"],
+                    [
+                        "sony camera",
+                        "digital slr camera with lens",
+                        "849.99",
+                        "dslra200w",
+                    ],
                     ["sony camera", "slr camera lens kit", "850.00", "dslra200w"],
                     true,
                 ),

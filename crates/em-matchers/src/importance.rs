@@ -47,8 +47,10 @@ pub fn permutation_importance<M: MatchModel>(
                 .map(|(i, r)| {
                     let donor = &dataset.records()[perm[i]].pair;
                     let mut pair = r.pair.clone();
-                    pair.left.set_value(attr, donor.left.value(attr).to_string());
-                    pair.right.set_value(attr, donor.right.value(attr).to_string());
+                    pair.left
+                        .set_value(attr, donor.left.value(attr).to_string());
+                    pair.right
+                        .set_value(attr, donor.right.value(attr).to_string());
                     em_entity::LabeledPair::new(pair, r.label)
                 })
                 .collect();
@@ -110,7 +112,11 @@ mod tests {
             let noise_l = format!("junk{}", (i * 13) % 11);
             let noise_r = format!("junk{}", (i * 7) % 11);
             let is_match = i % 2 == 0;
-            let right_key = if is_match { key.clone() } else { format!("item{:02} other", 99 - i) };
+            let right_key = if is_match {
+                key.clone()
+            } else {
+                format!("item{:02} other", 99 - i)
+            };
             records.push(LabeledPair::new(
                 EntityPair::new(
                     Entity::new(vec![key, noise_l]),

@@ -15,8 +15,8 @@
 
 pub mod baselines;
 pub mod evaluation;
-pub mod importance;
 pub mod features;
+pub mod importance;
 pub mod logistic_matcher;
 pub mod naive_bayes;
 pub mod persist;

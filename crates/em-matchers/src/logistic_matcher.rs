@@ -20,7 +20,11 @@ pub struct MatcherConfig {
 
 impl Default for MatcherConfig {
     fn default() -> Self {
-        MatcherConfig { lambda: 0.1, balance_classes: true, max_iter: 2000 }
+        MatcherConfig {
+            lambda: 0.1,
+            balance_classes: true,
+            max_iter: 2000,
+        }
     }
 }
 
@@ -106,14 +110,26 @@ mod tests {
     /// Small synthetic dataset: matches share tokens, non-matches don't.
     fn toy_dataset() -> EmDataset {
         let schema = Schema::new(vec![
-            Attribute { name: "name".into(), kind: AttributeKind::Name },
-            Attribute { name: "price".into(), kind: AttributeKind::Numeric },
+            Attribute {
+                name: "name".into(),
+                kind: AttributeKind::Name,
+            },
+            Attribute {
+                name: "price".into(),
+                kind: AttributeKind::Numeric,
+            },
         ]);
         let mut records = Vec::new();
         let names = [
-            "sony alpha camera", "nikon coolpix zoom", "canon eos body",
-            "apple iphone pro", "samsung galaxy ultra", "dell xps laptop",
-            "hp envy printer", "bose qc headphones", "sennheiser hd audio",
+            "sony alpha camera",
+            "nikon coolpix zoom",
+            "canon eos body",
+            "apple iphone pro",
+            "samsung galaxy ultra",
+            "dell xps laptop",
+            "hp envy printer",
+            "bose qc headphones",
+            "sennheiser hd audio",
             "logitech mx mouse",
         ];
         for (i, n) in names.iter().enumerate() {
@@ -150,7 +166,11 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct as f64 / d.len() as f64 >= 0.9, "accuracy {correct}/{}", d.len());
+        assert!(
+            correct as f64 / d.len() as f64 >= 0.9,
+            "accuracy {correct}/{}",
+            d.len()
+        );
     }
 
     #[test]

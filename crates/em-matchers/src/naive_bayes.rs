@@ -65,9 +65,16 @@ impl NaiveBayesMatcher {
                 .map(|j| {
                     let n = rows.len() as f64;
                     let mean = rows.iter().map(|r| r[j]).sum::<f64>() / n;
-                    let var = rows.iter().map(|r| (r[j] - mean) * (r[j] - mean)).sum::<f64>() / n;
+                    let var = rows
+                        .iter()
+                        .map(|r| (r[j] - mean) * (r[j] - mean))
+                        .sum::<f64>()
+                        / n;
                     // Variance floor keeps degenerate features finite.
-                    Gaussian { mean, var: var.max(1e-4) }
+                    Gaussian {
+                        mean,
+                        var: var.max(1e-4),
+                    }
                 })
                 .collect()
         };
@@ -103,7 +110,11 @@ impl MatchModel for NaiveBayesMatcher {
         let features = self.extractor.extract(schema, pair);
         let mut log_match = self.log_prior_match;
         let mut log_non = self.log_prior_non;
-        for ((x, m), n) in features.iter().zip(&self.match_params).zip(&self.non_params) {
+        for ((x, m), n) in features
+            .iter()
+            .zip(&self.match_params)
+            .zip(&self.non_params)
+        {
             log_match += m.log_density(*x);
             log_non += n.log_density(*x);
         }
@@ -124,9 +135,14 @@ mod tests {
         let schema = Schema::from_names(vec!["name"]);
         let mut records = Vec::new();
         let names = [
-            "sonix alpha camera", "nikor coolpix zoom", "canox eos body",
-            "apple iphone pro", "samsun galaxy ultra", "dellux xps laptop",
-            "hp envy printer", "bose qc headphones",
+            "sonix alpha camera",
+            "nikor coolpix zoom",
+            "canox eos body",
+            "apple iphone pro",
+            "samsun galaxy ultra",
+            "dellux xps laptop",
+            "hp envy printer",
+            "bose qc headphones",
         ];
         for (i, n) in names.iter().enumerate() {
             let dropped: String = n.split_whitespace().take(2).collect::<Vec<_>>().join(" ");
@@ -155,7 +171,11 @@ mod tests {
             .iter()
             .filter(|r| m.predict(d.schema(), &r.pair) == r.label)
             .count();
-        assert!(correct as f64 / d.len() as f64 >= 0.9, "{correct}/{}", d.len());
+        assert!(
+            correct as f64 / d.len() as f64 >= 0.9,
+            "{correct}/{}",
+            d.len()
+        );
     }
 
     #[test]

@@ -39,7 +39,10 @@ impl std::fmt::Display for PersistError {
             PersistError::BadHeader => write!(f, "bad or missing header"),
             PersistError::BadLine(n) => write!(f, "unparseable line {n}"),
             PersistError::SchemaMismatch { found, expected } => {
-                write!(f, "schema mismatch: file has {found:?}, expected {expected:?}")
+                write!(
+                    f,
+                    "schema mismatch: file has {found:?}, expected {expected:?}"
+                )
             }
             PersistError::MissingIntercept => write!(f, "missing intercept line"),
         }
@@ -52,7 +55,11 @@ const HEADER: &str = "landmark-logistic-matcher v1";
 
 /// Serializes logistic-model parameters against a schema.
 pub fn serialize_logistic(model: &LogisticModel, schema: &Schema) -> String {
-    assert_eq!(model.coefficients.len(), schema.len(), "one coefficient per attribute");
+    assert_eq!(
+        model.coefficients.len(),
+        schema.len(),
+        "one coefficient per attribute"
+    );
     let mut out = String::from(HEADER);
     out.push('\n');
     out.push_str(&format!("intercept {}\n", model.intercept));
@@ -101,7 +108,10 @@ pub fn deserialize_logistic(text: &str, schema: &Schema) -> Result<LogisticModel
     }
     let expected: Vec<String> = schema.iter().map(|a| a.name.clone()).collect();
     if names != expected {
-        return Err(PersistError::SchemaMismatch { found: names, expected });
+        return Err(PersistError::SchemaMismatch {
+            found: names,
+            expected,
+        });
     }
     Ok(LogisticModel {
         intercept: intercept.ok_or(PersistError::MissingIntercept)?,
@@ -119,7 +129,11 @@ mod tests {
     }
 
     fn model() -> LogisticModel {
-        LogisticModel { intercept: -1.25, coefficients: vec![3.5, 0.75], iterations: 42 }
+        LogisticModel {
+            intercept: -1.25,
+            coefficients: vec![3.5, 0.75],
+            iterations: 42,
+        }
     }
 
     #[test]
@@ -162,9 +176,7 @@ mod tests {
 
     #[test]
     fn reordered_coefficients_are_rejected() {
-        let text = format!(
-            "{HEADER}\nintercept 0\ncoefficient price 1\ncoefficient name 2\n"
-        );
+        let text = format!("{HEADER}\nintercept 0\ncoefficient price 1\ncoefficient name 2\n");
         assert!(matches!(
             deserialize_logistic(&text, &schema()).unwrap_err(),
             PersistError::SchemaMismatch { .. }
@@ -174,7 +186,10 @@ mod tests {
     #[test]
     fn garbage_line_is_rejected_with_its_number() {
         let text = format!("{HEADER}\nintercept 0\nwat\n");
-        assert_eq!(deserialize_logistic(&text, &schema()).unwrap_err(), PersistError::BadLine(3));
+        assert_eq!(
+            deserialize_logistic(&text, &schema()).unwrap_err(),
+            PersistError::BadLine(3)
+        );
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! Deterministic data-parallel execution for the Landmark Explanation
+//! workspace.
+//!
+//! The explanation pipeline is embarrassingly parallel at two levels: each
+//! record's hundreds of reconstructed perturbation pairs are scored
+//! independently, and the evaluation harness explains each record
+//! independently. This crate provides the one primitive both levels use —
+//! an **ordered fork/join map** over a slice ([`par_map`]) built on
+//! `std::thread::scope` — plus the [`ParallelismConfig`] every layer
+//! threads through its own config.
+//!
+//! (`rayon` would be the natural backend, but the build environment is
+//! offline; the scoped-thread implementation below provides the same
+//! contiguous-chunk fork/join shape with zero dependencies.)
+//!
+//! # Determinism
+//!
+//! `par_map(cfg, items, f)` returns **exactly** `items.iter().enumerate()
+//! .map(|(i, x)| f(i, x)).collect()` for any thread count: work is split
+//! into contiguous chunks, each worker writes results for its own chunk,
+//! and chunks are reassembled in input order. As long as `f` is a pure
+//! function of `(index, item)` — which every caller guarantees by deriving
+//! per-item RNG seeds from the index — parallel and serial runs are
+//! bit-identical.
+
+use std::num::NonZeroUsize;
+
+/// How a parallel region may use threads.
+///
+/// The config is `Copy` and lives inside every explainer/eval config so a
+/// single knob controls the whole pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelismConfig {
+    /// Worker threads to use. `0` means auto-detect
+    /// (`std::thread::available_parallelism`). `1` forces serial execution
+    /// on the calling thread.
+    pub threads: usize,
+    /// Minimum number of items each worker must receive before an extra
+    /// thread is worth spawning; small inputs stay serial.
+    pub min_items_per_thread: usize,
+}
+
+impl Default for ParallelismConfig {
+    fn default() -> Self {
+        ParallelismConfig {
+            threads: 0,
+            min_items_per_thread: 32,
+        }
+    }
+}
+
+impl ParallelismConfig {
+    /// Serial execution on the calling thread.
+    pub const fn serial() -> Self {
+        ParallelismConfig {
+            threads: 1,
+            min_items_per_thread: usize::MAX,
+        }
+    }
+
+    /// Auto-detected thread count (the default).
+    pub fn auto() -> Self {
+        ParallelismConfig::default()
+    }
+
+    /// A fixed thread count with the default chunking threshold.
+    pub const fn with_threads(threads: usize) -> Self {
+        ParallelismConfig {
+            threads,
+            min_items_per_thread: 1,
+        }
+    }
+
+    /// Whether this config can ever use more than one thread.
+    pub fn is_parallel(&self) -> bool {
+        self.threads != 1
+    }
+
+    /// The number of workers a region with `n_items` items should fork:
+    /// bounded by the configured/detected thread count and by
+    /// `min_items_per_thread`, and always at least 1.
+    pub fn effective_threads(&self, n_items: usize) -> usize {
+        let hard_cap = match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        };
+        let chunk_cap = match self.min_items_per_thread {
+            0 => n_items,
+            m => n_items / m,
+        };
+        hard_cap.min(chunk_cap).max(1)
+    }
+}
+
+/// Ordered parallel map: `f(i, &items[i])` for every `i`, results in input
+/// order. Serial fallback when the config or input size doesn't warrant
+/// forking. See the crate docs for the determinism contract.
+pub fn par_map<T, R, F>(config: &ParallelismConfig, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = config.effective_threads(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    // Contiguous chunks, sized as evenly as possible: the first `extra`
+    // chunks get one more item.
+    let base = items.len() / workers;
+    let extra = items.len() % workers;
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut start = 0;
+        let f = &f;
+        for w in 0..workers {
+            let len = base + usize::from(w < extra);
+            let chunk = &items[start..start + len];
+            let offset = start;
+            handles.push(scope.spawn(move || {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, x)| f(offset + i, x))
+                    .collect::<Vec<R>>()
+            }));
+            start += len;
+        }
+        for handle in handles {
+            // A worker panic propagates: join returns Err only if the
+            // closure panicked, and unwrapping re-panics here.
+            results.push(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Ordered parallel flat-map: like [`par_map`] but each call may yield any
+/// number of results, concatenated in input order. Used when one record
+/// expands into several explanation views.
+pub fn par_flat_map<T, R, F>(config: &ParallelismConfig, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> Vec<R> + Sync,
+{
+    par_map(config, items, f).into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_config_never_forks() {
+        let cfg = ParallelismConfig::serial();
+        assert_eq!(cfg.effective_threads(1_000_000), 1);
+        assert!(!cfg.is_parallel());
+    }
+
+    #[test]
+    fn small_inputs_stay_serial_under_auto() {
+        let cfg = ParallelismConfig::default();
+        assert_eq!(cfg.effective_threads(0), 1);
+        assert_eq!(cfg.effective_threads(31), 1);
+    }
+
+    #[test]
+    fn with_threads_caps_at_the_requested_count() {
+        let cfg = ParallelismConfig::with_threads(4);
+        assert_eq!(cfg.effective_threads(1_000), 4);
+        assert_eq!(cfg.effective_threads(2), 2);
+        assert!(cfg.is_parallel());
+    }
+
+    #[test]
+    fn par_map_matches_serial_map_for_any_thread_count() {
+        let items: Vec<u64> = (0..1_000).collect();
+        let expected: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x * 3 + i as u64)
+            .collect();
+        for threads in [1, 2, 3, 4, 7, 16] {
+            let cfg = ParallelismConfig::with_threads(threads);
+            let got = par_map(&cfg, &items, |i, x| x * 3 + i as u64);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order_with_uneven_chunks() {
+        // 10 items across 4 workers: chunks of 3, 3, 2, 2.
+        let items: Vec<usize> = (0..10).collect();
+        let cfg = ParallelismConfig::with_threads(4);
+        let got = par_map(&cfg, &items, |i, _| i);
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_tiny_inputs() {
+        let cfg = ParallelismConfig::with_threads(8);
+        assert_eq!(par_map(&cfg, &[] as &[u8], |_, x| *x), Vec::<u8>::new());
+        assert_eq!(par_map(&cfg, &[42u8], |_, x| *x), vec![42]);
+    }
+
+    #[test]
+    fn par_flat_map_concatenates_in_order() {
+        let items: Vec<usize> = (0..50).collect();
+        let cfg = ParallelismConfig::with_threads(3);
+        let got = par_flat_map(&cfg, &items, |_, &x| vec![x, x]);
+        let expected: Vec<usize> = items.iter().flat_map(|&x| [x, x]).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel worker panicked")]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..100).collect();
+        let cfg = ParallelismConfig::with_threads(2);
+        let _ = par_map(&cfg, &items, |_, &x| {
+            assert!(x != 60, "boom");
+            x
+        });
+    }
+
+    #[test]
+    fn index_derived_seeding_is_thread_count_invariant() {
+        // The exact pattern the eval runner uses: a per-item seed derived
+        // from (base, index) must give identical streams at any width.
+        let items: Vec<u64> = (0..200).collect();
+        let explain = |i: usize, _x: &u64| -> u64 {
+            let seed = 0xE0B7u64.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9);
+            seed ^ (seed >> 7)
+        };
+        let serial = par_map(&ParallelismConfig::serial(), &items, explain);
+        for threads in [2, 5, 8] {
+            let parallel = par_map(&ParallelismConfig::with_threads(threads), &items, explain);
+            assert_eq!(serial, parallel);
+        }
+    }
+}

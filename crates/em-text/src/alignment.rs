@@ -17,7 +17,11 @@ pub struct AlignmentScoring {
 
 impl Default for AlignmentScoring {
     fn default() -> Self {
-        AlignmentScoring { match_score: 2.0, mismatch_penalty: -1.0, gap_penalty: -1.0 }
+        AlignmentScoring {
+            match_score: 2.0,
+            mismatch_penalty: -1.0,
+            gap_penalty: -1.0,
+        }
     }
 }
 
@@ -35,7 +39,11 @@ pub fn smith_waterman(a: &str, b: &str, scoring: &AlignmentScoring) -> f64 {
     for &ca in &a {
         for j in 1..cols {
             let diag = prev[j - 1]
-                + if ca == b[j - 1] { scoring.match_score } else { scoring.mismatch_penalty };
+                + if ca == b[j - 1] {
+                    scoring.match_score
+                } else {
+                    scoring.mismatch_penalty
+                };
             let up = prev[j] + scoring.gap_penalty;
             let left = curr[j - 1] + scoring.gap_penalty;
             curr[j] = diag.max(up).max(left).max(0.0);

@@ -110,7 +110,12 @@ mod tests {
 
     #[test]
     fn bounded_in_unit_interval() {
-        for (a, b) in [("a", "b"), ("sony", "song"), ("walmart", "amazon"), ("x", "xxxxxxx")] {
+        for (a, b) in [
+            ("a", "b"),
+            ("sony", "song"),
+            ("walmart", "amazon"),
+            ("x", "xxxxxxx"),
+        ] {
             let j = jaro(a, b);
             let w = jaro_winkler(a, b);
             assert!((0.0..=1.0).contains(&j));

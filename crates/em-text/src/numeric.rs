@@ -94,6 +94,9 @@ mod tests {
 
     #[test]
     fn symmetric() {
-        assert_eq!(numeric_similarity("10", "30"), numeric_similarity("30", "10"));
+        assert_eq!(
+            numeric_similarity("10", "30"),
+            numeric_similarity("30", "10")
+        );
     }
 }

@@ -56,8 +56,18 @@ impl QgramProfile {
                 dot += c as f64 * d as f64;
             }
         }
-        let na: f64 = self.counts.values().map(|&c| (c as f64) * (c as f64)).sum::<f64>().sqrt();
-        let nb: f64 = other.counts.values().map(|&c| (c as f64) * (c as f64)).sum::<f64>().sqrt();
+        let na: f64 = self
+            .counts
+            .values()
+            .map(|&c| (c as f64) * (c as f64))
+            .sum::<f64>()
+            .sqrt();
+        let nb: f64 = other
+            .counts
+            .values()
+            .map(|&c| (c as f64) * (c as f64))
+            .sum::<f64>()
+            .sqrt();
         dot / (na * nb)
     }
 }

@@ -43,7 +43,10 @@ impl TfIdfVectorizerBuilder {
                 (t, w)
             })
             .collect();
-        TfIdfVectorizer { idf, default_idf: ((1.0 + n) / 1.0).ln() + 1.0 }
+        TfIdfVectorizer {
+            idf,
+            default_idf: ((1.0 + n) / 1.0).ln() + 1.0,
+        }
     }
 }
 
@@ -72,7 +75,9 @@ impl TfIdfVectorizer {
         for t in tokens {
             *tf.entry(t.as_ref()).or_insert(0.0) += 1.0;
         }
-        tf.into_iter().map(|(t, f)| (t.to_string(), f * self.idf(t))).collect()
+        tf.into_iter()
+            .map(|(t, f)| (t.to_string(), f * self.idf(t)))
+            .collect()
     }
 
     /// Cosine similarity between the TF-IDF vectors of two token lists.

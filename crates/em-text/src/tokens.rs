@@ -34,7 +34,10 @@ mod tests {
 
     #[test]
     fn whitespace_tokens_splits_and_drops_empties() {
-        assert_eq!(whitespace_tokens("  sony  alpha camera "), vec!["sony", "alpha", "camera"]);
+        assert_eq!(
+            whitespace_tokens("  sony  alpha camera "),
+            vec!["sony", "alpha", "camera"]
+        );
         assert!(whitespace_tokens("   ").is_empty());
         assert!(whitespace_tokens("").is_empty());
     }
@@ -59,6 +62,9 @@ mod tests {
 
     #[test]
     fn normalized_tokens_filters_empties() {
-        assert_eq!(normalized_tokens("Sony - Camera !!"), vec!["sony", "camera"]);
+        assert_eq!(
+            normalized_tokens("Sony - Camera !!"),
+            vec!["sony", "camera"]
+        );
     }
 }

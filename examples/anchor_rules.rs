@@ -30,27 +30,45 @@ fn main() {
         .clone();
 
     println!("\nRecord:\n{}", record.display_with(&schema));
-    println!("Model probability: {:.3}\n", matcher.predict_proba(&schema, &record));
+    println!(
+        "Model probability: {:.3}\n",
+        matcher.predict_proba(&schema, &record)
+    );
 
     // Plain anchor over both entities.
-    let anchor = AnchorExplainer::new(AnchorConfig { n_samples: 150, ..Default::default() })
-        .explain(&matcher, &schema, &record);
+    let anchor = AnchorExplainer::new(AnchorConfig {
+        n_samples: 150,
+        ..Default::default()
+    })
+    .explain(&matcher, &schema, &record);
     println!(
         "=== Anchor (both entities perturbable) — precision {:.2}, coverage {:.3} ===",
         anchor.precision, anchor.coverage
     );
     for (side, token) in &anchor.anchor {
-        println!("   IF {}_{} contains {:?}", side.prefix(), schema.name(token.attribute), token.text);
+        println!(
+            "   IF {}_{} contains {:?}",
+            side.prefix(),
+            schema.name(token.attribute),
+            token.text
+        );
     }
     println!(
         "   THEN prediction stays {}",
-        if anchor.prediction { "MATCH" } else { "NON-MATCH" }
+        if anchor.prediction {
+            "MATCH"
+        } else {
+            "NON-MATCH"
+        }
     );
 
     // Landmark anchor: freeze the left entity.
     let cfg = LandmarkAnchorConfig {
         strategy: GenerationStrategy::SingleEntity,
-        anchor: AnchorConfig { n_samples: 150, ..Default::default() },
+        anchor: AnchorConfig {
+            n_samples: 150,
+            ..Default::default()
+        },
     };
     let le = LandmarkAnchorExplainer::new(cfg).explain_with_landmark(
         &matcher,
@@ -67,7 +85,11 @@ fn main() {
             "   IF right_{} contains {:?}{}",
             schema.name(token.attribute),
             token.text,
-            if *injected { " (injected from landmark)" } else { "" }
+            if *injected {
+                " (injected from landmark)"
+            } else {
+                ""
+            }
         );
     }
     println!(

@@ -7,9 +7,9 @@
 //!
 //! Run with: `cargo run --release --example benchmark_tour`
 
-use landmark_explanation::prelude::*;
 use landmark_explanation::entity::SplitConfig;
 use landmark_explanation::matchers::evaluate_matcher;
+use landmark_explanation::prelude::*;
 
 fn main() {
     let scale = 0.1;

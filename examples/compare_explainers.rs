@@ -8,14 +8,18 @@
 //!
 //! Run with: `cargo run --release --example compare_explainers`
 
-use landmark_explanation::prelude::*;
 use landmark_explanation::eval::{ExplainedRecord, Technique};
+use landmark_explanation::prelude::*;
 
 fn show(schema: &Schema, label: &str, views: &[ExplainedRecord]) {
     println!("\n=== {label} ===");
     for (i, view) in views.iter().enumerate() {
         if views.len() > 1 {
-            println!("-- view {} (landmark = {})", i + 1, if i == 0 { "left" } else { "right" });
+            println!(
+                "-- view {} (landmark = {})",
+                i + 1,
+                if i == 0 { "left" } else { "right" }
+            );
         }
         let mut ranked: Vec<_> = view.removable.iter().collect();
         ranked.sort_by(|a, b| b.2.abs().partial_cmp(&a.2.abs()).unwrap());
@@ -44,8 +48,18 @@ fn main() {
         .filter(|r| !r.label)
         .find(|r| {
             use std::collections::HashSet;
-            let a: HashSet<&str> = r.pair.left.values().flat_map(str::split_whitespace).collect();
-            let b: HashSet<&str> = r.pair.right.values().flat_map(str::split_whitespace).collect();
+            let a: HashSet<&str> = r
+                .pair
+                .left
+                .values()
+                .flat_map(str::split_whitespace)
+                .collect();
+            let b: HashSet<&str> = r
+                .pair
+                .right
+                .values()
+                .flat_map(str::split_whitespace)
+                .collect();
             a.intersection(&b).count() >= 2
         })
         .expect("hard negative exists")
@@ -60,12 +74,7 @@ fn main() {
 
     for technique in Technique::all() {
         let views = landmark_explanation::eval::technique::explain_record(
-            technique,
-            &matcher,
-            &schema,
-            &record,
-            500,
-            0,
+            technique, &matcher, &schema, &record, 500, 0,
         );
         show(&schema, technique.label(), &views);
     }

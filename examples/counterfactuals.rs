@@ -49,7 +49,10 @@ fn main() {
         &schema,
         &record,
         &le,
-        &CounterfactualConfig { max_edits: 12, ..Default::default() },
+        &CounterfactualConfig {
+            max_edits: 12,
+            ..Default::default()
+        },
     );
 
     println!("\nCounterfactual edits to the RIGHT entity (left is the landmark):");
@@ -62,8 +65,15 @@ fn main() {
     println!(
         "\nEdited record probability: {:.3} -> {}",
         cf.probability,
-        if cf.probability >= 0.5 { "MATCH" } else { "NON-MATCH" }
+        if cf.probability >= 0.5 {
+            "MATCH"
+        } else {
+            "NON-MATCH"
+        }
     );
     println!("Flipped: {}", cf.flipped);
-    println!("\nEdited right entity: {}", cf.record.right.display_with(&schema));
+    println!(
+        "\nEdited right entity: {}",
+        cf.record.right.display_with(&schema)
+    );
 }

@@ -15,8 +15,15 @@ fn main() {
     // Stand-in for "your dataset": serialize a small benchmark dataset.
     let original = MagellanBenchmark::scaled(0.2).generate(DatasetId::SFz);
     let csv = dataset_to_csv(&original);
-    println!("Serialized {} records to CSV ({} bytes).", original.len(), csv.len());
-    println!("First lines:\n{}", csv.lines().take(3).collect::<Vec<_>>().join("\n"));
+    println!(
+        "Serialized {} records to CSV ({} bytes).",
+        original.len(),
+        csv.len()
+    );
+    println!(
+        "First lines:\n{}",
+        csv.lines().take(3).collect::<Vec<_>>().join("\n")
+    );
 
     // The part you would run on real data: parse, train, explain.
     let dataset = dataset_from_csv("my-restaurants", &csv).expect("well-formed CSV");

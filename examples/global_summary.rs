@@ -32,11 +32,18 @@ fn main() {
     let views: Vec<_> = explanations.iter().flat_map(|d| d.both()).collect();
     let summary = summarize(&schema, &views, 3);
 
-    println!("\nAggregated over {} landmark explanations.\n", summary.n_explanations);
+    println!(
+        "\nAggregated over {} landmark explanations.\n",
+        summary.n_explanations
+    );
 
     println!("Mean attribute importance (|surrogate weight| per token):");
-    let mut attrs: Vec<(usize, f64)> =
-        summary.attribute_importance.iter().copied().enumerate().collect();
+    let mut attrs: Vec<(usize, f64)> = summary
+        .attribute_importance
+        .iter()
+        .copied()
+        .enumerate()
+        .collect();
     attrs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     for (idx, imp) in attrs {
         println!("   {:<18} {:.4}", schema.name(idx), imp);
@@ -49,10 +56,16 @@ fn main() {
 
     println!("\nTokens most consistently supporting MATCH:");
     for t in summary.match_tokens.iter().take(8) {
-        println!("   {:<28} mean {:+.4} (seen {}x)", t.key, t.mean_weight, t.count);
+        println!(
+            "   {:<28} mean {:+.4} (seen {}x)",
+            t.key, t.mean_weight, t.count
+        );
     }
     println!("\nTokens most consistently supporting NON-MATCH:");
     for t in summary.non_match_tokens.iter().take(8) {
-        println!("   {:<28} mean {:+.4} (seen {}x)", t.key, t.mean_weight, t.count);
+        println!(
+            "   {:<28} mean {:+.4} (seen {}x)",
+            t.key, t.mean_weight, t.count
+        );
     }
 }

@@ -12,7 +12,10 @@ fn main() {
     // A product dataset in the same domain as the record we explain.
     let dataset = MagellanBenchmark::scaled(0.2).generate(DatasetId::TAb);
     let schema = dataset.schema().clone();
-    println!("Training the EM model (logistic regression) on {} records...", dataset.len());
+    println!(
+        "Training the EM model (logistic regression) on {} records...",
+        dataset.len()
+    );
     let matcher = LogisticMatcher::train(&dataset, &MatcherConfig::default());
 
     // The record of Figure 1: a digital camera vs a leather case.
@@ -31,7 +34,10 @@ fn main() {
 
     let p = matcher.predict_proba(&schema, &record);
     println!("\nRecord to explain:\n{}", record.display_with(&schema));
-    println!("EM model match probability: {p:.3} -> {}", if p >= 0.5 { "MATCH" } else { "NON-MATCH" });
+    println!(
+        "EM model match probability: {p:.3} -> {}",
+        if p >= 0.5 { "MATCH" } else { "NON-MATCH" }
+    );
 
     // Landmark Explanation: two explanations, one per landmark.
     let explainer = LandmarkExplainer::default();
@@ -59,5 +65,7 @@ fn main() {
         }
     }
 
-    println!("\nInterpretation: positive weights support MATCH, negative weights support NON-MATCH.");
+    println!(
+        "\nInterpretation: positive weights support MATCH, negative weights support NON-MATCH."
+    );
 }

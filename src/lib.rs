@@ -66,6 +66,11 @@ pub mod lime {
     pub use em_lime::*;
 }
 
+/// Deterministic fork/join parallelism layer (re-export of `em-par`).
+pub mod par {
+    pub use em_par::*;
+}
+
 /// Synthetic Magellan benchmark (re-export of `em-datagen`).
 pub mod datagen {
     pub use em_datagen::*;
@@ -84,9 +89,9 @@ pub mod prelude {
     };
     pub use em_lime::{LimeConfig, LimeExplainer, MojitoCopyConfig, MojitoCopyExplainer};
     pub use em_matchers::{LogisticMatcher, MatcherConfig, NaiveBayesMatcher};
+    pub use em_par::ParallelismConfig;
     pub use landmark_core::{
-        DualExplanation, GenerationStrategy, LandmarkConfig, LandmarkExplainer,
-        LandmarkExplanation,
+        DualExplanation, GenerationStrategy, LandmarkConfig, LandmarkExplainer, LandmarkExplanation,
     };
 }
 

@@ -7,14 +7,23 @@ use landmark_explanation::eval::{EvalConfig, Evaluator, Technique};
 use landmark_explanation::prelude::*;
 
 fn small_eval_config() -> EvalConfig {
-    EvalConfig { scale: 0.08, n_records_per_label: 6, n_samples: 150, ..Default::default() }
+    EvalConfig {
+        scale: 0.08,
+        n_records_per_label: 6,
+        n_samples: 150,
+        ..Default::default()
+    }
 }
 
 #[test]
 fn full_pipeline_on_beer_dataset() {
     let result = Evaluator::new(small_eval_config()).evaluate_dataset(DatasetId::SBr);
     assert_eq!(result.dataset, "S-BR");
-    assert!(result.matcher_f1 > 0.5, "matcher f1 = {}", result.matcher_f1);
+    assert!(
+        result.matcher_f1 > 0.5,
+        "matcher f1 = {}",
+        result.matcher_f1
+    );
     for label in [&result.matching, &result.non_matching] {
         assert_eq!(label.techniques.len(), 4);
         for t in &label.techniques {
@@ -41,7 +50,11 @@ fn matcher_generalizes_across_all_domains() {
         // similarity model (values are misplaced into the title) — the
         // DeepMatcher paper reports classical-ML F1 of ~47 on dirty
         // iTunes-Amazon, so ~0.5 here is in line with the real benchmark.
-        let floor = if id.dataset_type() == "Dirty" { 0.45 } else { 0.6 };
+        let floor = if id.dataset_type() == "Dirty" {
+            0.45
+        } else {
+            0.6
+        };
         assert!(f1 > floor, "{}: f1 = {f1}", id.short_name());
     }
 }
@@ -49,7 +62,12 @@ fn matcher_generalizes_across_all_domains() {
 #[test]
 fn every_technique_explains_every_domain_without_panicking() {
     let benchmark = MagellanBenchmark::scaled(0.05);
-    for id in [DatasetId::SBr, DatasetId::SFz, DatasetId::TAb, DatasetId::DWa] {
+    for id in [
+        DatasetId::SBr,
+        DatasetId::SFz,
+        DatasetId::TAb,
+        DatasetId::DWa,
+    ] {
         let dataset = benchmark.generate(id);
         let matcher = LogisticMatcher::train(&dataset, &MatcherConfig::default());
         let record = &dataset.records()[0].pair;
@@ -86,7 +104,12 @@ fn paper_shape_single_is_faithful_on_matching_records() {
     // Section 4.2.1 lesson learned: the single-entity surrogate is an
     // accurate representation of the EM model for matching records —
     // its token-removal MAE should be small in absolute terms.
-    let cfg = EvalConfig { scale: 0.15, n_records_per_label: 12, n_samples: 300, ..Default::default() };
+    let cfg = EvalConfig {
+        scale: 0.15,
+        n_records_per_label: 12,
+        n_samples: 300,
+        ..Default::default()
+    };
     let result = Evaluator::new(cfg).evaluate_dataset(DatasetId::SWa);
     let single = result
         .matching
@@ -95,7 +118,11 @@ fn paper_shape_single_is_faithful_on_matching_records() {
         .find(|t| t.technique == Technique::LandmarkSingle)
         .unwrap();
     assert!(single.token.mae < 0.2, "single MAE = {}", single.token.mae);
-    assert!(single.token.accuracy > 0.6, "single accuracy = {}", single.token.accuracy);
+    assert!(
+        single.token.accuracy > 0.6,
+        "single accuracy = {}",
+        single.token.accuracy
+    );
 }
 
 #[test]
@@ -103,7 +130,12 @@ fn paper_shape_double_interest_beats_lime_on_non_matching_records() {
     // Section 4.3 lesson learned: double-entity generation increases the
     // interest of non-matching explanations; LIME can only drop tokens and
     // rarely flips a non-match to match.
-    let cfg = EvalConfig { scale: 0.15, n_records_per_label: 12, n_samples: 300, ..Default::default() };
+    let cfg = EvalConfig {
+        scale: 0.15,
+        n_records_per_label: 12,
+        n_samples: 300,
+        ..Default::default()
+    };
     let result = Evaluator::new(cfg).evaluate_dataset(DatasetId::SBr);
     let get = |tech: Technique| {
         result

@@ -34,9 +34,12 @@ fn landmark_explanations_agree_on_informative_attributes_across_model_families()
     let dataset = MagellanBenchmark::scaled(0.08).generate(DatasetId::SAg);
     let lr = LogisticMatcher::train(&dataset, &MatcherConfig::default());
     let nb = NaiveBayesMatcher::train(&dataset);
-    let explainer = LandmarkExplainer::new(LandmarkConfig { n_samples: 150, ..Default::default() });
+    let explainer = LandmarkExplainer::new(LandmarkConfig {
+        n_samples: 150,
+        ..Default::default()
+    });
 
-    let importance = |model: &dyn MatchModel| -> Vec<f64> {
+    let importance = |model: &(dyn MatchModel + Sync)| -> Vec<f64> {
         let mut total = vec![0.0; dataset.schema().len()];
         for r in dataset.sample_by_label(true, 6, 1) {
             let dual = explainer.explain(&model, dataset.schema(), &r.pair);
@@ -54,7 +57,11 @@ fn landmark_explanations_agree_on_informative_attributes_across_model_families()
     let lr_imp = importance(&lr);
     let nb_imp = importance(&nb);
     let top = |v: &[f64]| -> usize {
-        v.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+        v.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0
     };
     // The two model families should agree on which attribute matters most
     // (both are driven by the same similarity structure of the data).
@@ -88,7 +95,10 @@ fn counterfactuals_work_for_naive_bayes_too() {
         dataset.schema(),
         &record,
         &le,
-        &CounterfactualConfig { max_edits: 20, ..Default::default() },
+        &CounterfactualConfig {
+            max_edits: 20,
+            ..Default::default()
+        },
     );
     assert!(cf.flipped, "cf probability = {}", cf.probability);
     assert!(cf.probability < 0.5);
@@ -109,10 +119,18 @@ fn blocking_feeds_matching_end_to_end() {
 
     let candidates = token_blocking(&left, &right, &BlockingConfig::default());
     let truth: Vec<(usize, usize)> = (0..left.len()).map(|i| (i, i)).collect();
-    let quality =
-        landmark_explanation::entity::evaluate_blocking(&candidates, &truth, left.len(), right.len());
+    let quality = landmark_explanation::entity::evaluate_blocking(
+        &candidates,
+        &truth,
+        left.len(),
+        right.len(),
+    );
     assert!(quality.recall > 0.8, "blocking recall = {}", quality.recall);
-    assert!(quality.reduction_ratio > 0.5, "reduction = {}", quality.reduction_ratio);
+    assert!(
+        quality.reduction_ratio > 0.5,
+        "reduction = {}",
+        quality.reduction_ratio
+    );
 
     // Score the candidates: diagonal pairs should outscore off-diagonal.
     let mut diag = Vec::new();
@@ -131,6 +149,11 @@ fn blocking_feeds_matching_end_to_end() {
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     assert!(diag.iter().all(|p| p.is_finite()));
     if !off.is_empty() {
-        assert!(mean(&diag) > mean(&off), "{} vs {}", mean(&diag), mean(&off));
+        assert!(
+            mean(&diag) > mean(&off),
+            "{} vs {}",
+            mean(&diag),
+            mean(&off)
+        );
     }
 }

@@ -23,7 +23,11 @@ fn cell() -> impl Strategy<Value = String> {
 }
 
 fn dataset() -> impl Strategy<Value = EmDataset> {
-    let record = (prop::collection::vec(cell(), 2), prop::collection::vec(cell(), 2), any::<bool>());
+    let record = (
+        prop::collection::vec(cell(), 2),
+        prop::collection::vec(cell(), 2),
+        any::<bool>(),
+    );
     prop::collection::vec(record, 0..8).prop_map(|rows| {
         let schema = Schema::from_names(vec!["name", "price"]);
         let records = rows

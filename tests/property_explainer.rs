@@ -4,8 +4,7 @@
 use landmark_explanation::entity::{Entity, EntityPair, EntitySide, MatchModel, Schema};
 use landmark_explanation::landmark::strategy::ResolvedStrategy;
 use landmark_explanation::landmark::{
-    generate_view, reconstruct_with_landmark, GenerationStrategy, LandmarkConfig,
-    LandmarkExplainer,
+    generate_view, reconstruct_with_landmark, GenerationStrategy, LandmarkConfig, LandmarkExplainer,
 };
 use landmark_explanation::lime::{LimeConfig, LimeExplainer};
 use proptest::prelude::*;
@@ -17,7 +16,12 @@ impl MatchModel for Overlap {
         use std::collections::HashSet;
         let g = |e: &Entity| -> HashSet<String> {
             (0..schema.len())
-                .flat_map(|i| e.value(i).split_whitespace().map(str::to_string).collect::<Vec<_>>())
+                .flat_map(|i| {
+                    e.value(i)
+                        .split_whitespace()
+                        .map(str::to_string)
+                        .collect::<Vec<_>>()
+                })
                 .collect()
         };
         let a = g(&pair.left);

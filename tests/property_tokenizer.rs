@@ -1,10 +1,8 @@
 //! Property-based tests for the prefix tokenizer — the component the
 //! whole explanation pipeline's correctness rests on.
 
-use landmark_explanation::entity::{
-    detokenize, tokenize_entity, Entity, Schema, Token,
-};
 use landmark_explanation::entity::tokenizer::renumber;
+use landmark_explanation::entity::{detokenize, tokenize_entity, Entity, Schema, Token};
 use proptest::prelude::*;
 
 /// Attribute values: space-separated lowercase words (possibly empty).

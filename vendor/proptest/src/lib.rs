@@ -1,0 +1,576 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of proptest's API its property tests use: the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_oneof!`]
+//! macros, [`strategy::Strategy`] with `prop_map`, range and tuple
+//! strategies, `prop::collection::vec`, [`strategy::Just`], `any::<bool>()`,
+//! and a `&str` strategy covering simple character-class regexes like
+//! `"[a-z0-9]{1,8}"`.
+//!
+//! Differences from upstream: cases are generated from a fixed deterministic
+//! seed (reproducible runs, no persistence files) and failures are reported
+//! without shrinking.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of test values.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Boxes a strategy, erasing its concrete type (used by `prop_oneof!`).
+    pub fn boxed_strategy<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// A uniform choice among boxed strategies (the `prop_oneof!` backend).
+    pub struct Union<V> {
+        options: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union; panics on an empty option list.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut StdRng) -> V {
+            let pick = rng.gen_range(0..self.options.len());
+            self.options[pick].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E));
+
+    /// `&str` as a strategy: a tiny regex dialect of character classes and
+    /// quantifiers, e.g. `"[a-z0-9_.]{1,12}"`, `"[ab]+"`, `"abc"`.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    /// One pattern atom: a set of candidate characters plus a repetition.
+    struct Atom {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<Atom> {
+        let mut atoms = Vec::new();
+        let mut it = pattern.chars().peekable();
+        while let Some(c) = it.next() {
+            let chars = match c {
+                '[' => {
+                    // Collect the raw class text, then expand `a-z` ranges.
+                    let mut raw = Vec::new();
+                    for d in it.by_ref() {
+                        if d == ']' {
+                            break;
+                        }
+                        raw.push(d);
+                    }
+                    let mut set = Vec::new();
+                    let mut k = 0;
+                    while k < raw.len() {
+                        if raw[k] == '-' && !set.is_empty() && k + 1 < raw.len() {
+                            let lo = *set.last().unwrap();
+                            set.pop();
+                            for v in lo as u32..=raw[k + 1] as u32 {
+                                if let Some(ch) = char::from_u32(v) {
+                                    set.push(ch);
+                                }
+                            }
+                            k += 2;
+                        } else {
+                            set.push(raw[k]);
+                            k += 1;
+                        }
+                    }
+                    set
+                }
+                '\\' => vec![it.next().unwrap_or('\\')],
+                other => vec![other],
+            };
+            let (min, max) = match it.peek() {
+                Some('{') => {
+                    it.next();
+                    let mut spec = String::new();
+                    for d in it.by_ref() {
+                        if d == '}' {
+                            break;
+                        }
+                        spec.push(d);
+                    }
+                    match spec.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().unwrap_or(0),
+                            hi.trim().parse().unwrap_or(8),
+                        ),
+                        None => {
+                            let n = spec.trim().parse().unwrap_or(1);
+                            (n, n)
+                        }
+                    }
+                }
+                Some('+') => {
+                    it.next();
+                    (1, 8)
+                }
+                Some('*') => {
+                    it.next();
+                    (0, 8)
+                }
+                Some('?') => {
+                    it.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            atoms.push(Atom { chars, min, max });
+        }
+        atoms
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(pattern) {
+            if atom.chars.is_empty() {
+                continue;
+            }
+            let count = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..count {
+                out.push(atom.chars[rng.gen_range(0..atom.chars.len())]);
+            }
+        }
+        out
+    }
+
+    /// Types with a canonical default strategy (`any::<T>()`).
+    pub trait Arbitrary {
+        /// The default strategy type.
+        type Strategy: Strategy<Value = Self>;
+
+        /// The default strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The default strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    /// `any::<bool>()`: a fair coin.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// An element-count specification: an exact size or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end.max(r.start + 1),
+            }
+        }
+    }
+
+    /// A strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..self.size.max_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration (a subset of upstream's).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Runs `body` for each case with a deterministic per-case RNG; panics
+    /// on the first failure (no shrinking).
+    pub fn run<F>(config: &ProptestConfig, mut body: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), String>,
+    {
+        for case in 0..config.cases {
+            let mut rng = StdRng::seed_from_u64(0x5EED_CAFE_F00D_u64.wrapping_add(case as u64));
+            if let Err(message) = body(&mut rng) {
+                panic!("proptest case {case}/{} failed: {message}", config.cases);
+            }
+        }
+    }
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` module path used inside tests (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of `#[test] fn name(arg in
+/// strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::test_runner::run(&__config, |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), __rng);)+
+                (|| -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })()
+            });
+        }
+    )*};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} ({}:{})",
+                ::std::stringify!($cond),
+                ::std::file!(),
+                ::std::line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = &$left;
+        let __right = &$right;
+        $crate::prop_assert!(
+            __left == __right,
+            "assertion failed: `{:?} == {:?}` ({}:{})",
+            __left,
+            __right,
+            ::std::file!(),
+            ::std::line!()
+        );
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = &$left;
+        let __right = &$right;
+        $crate::prop_assert!(
+            __left != __right,
+            "assertion failed: `{:?} != {:?}` ({}:{})",
+            __left,
+            __right,
+            ::std::file!(),
+            ::std::line!()
+        );
+    }};
+}
+
+/// A uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::boxed_strategy($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn string_pattern_matches_class_and_counts() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..200 {
+            let s = "[a-z0-9]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn string_pattern_with_punctuation_class() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = "[a-z0-9_.]{1,12}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 12);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.'));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let strat = crate::collection::vec(0u64..10, 2..5);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn oneof_and_just_cover_all_arms() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_multiple_args(x in 0u64..100, v in crate::collection::vec(0i32..5, 0..4)) {
+            prop_assert!(x < 100);
+            prop_assert!(v.len() < 4);
+            prop_assert_eq!(v.len(), v.iter().map(|_| 1usize).sum::<usize>());
+            prop_assert_ne!(x + 1, 0);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            (a, b) in (0u32..10, 0u32..10),
+            s in "[ab]{2}".prop_map(|t| t.len()),
+        ) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(s, 2);
+        }
+    }
+}

@@ -23,6 +23,24 @@ impl Entity {
         }
     }
 
+    /// Builds an entity from `(attribute name, value)` pairs, aligning them
+    /// to `schema` order. Attributes absent from the input stay empty; a
+    /// name the schema does not know is an error (decoded client JSON must
+    /// not silently drop fields). Later duplicates overwrite earlier ones.
+    pub fn from_named_values<'a, I>(schema: &Schema, values: I) -> Result<Self, UnknownAttribute>
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
+        let mut entity = Entity::empty(schema.len());
+        for (name, value) in values {
+            let idx = schema
+                .index_of(name)
+                .ok_or_else(|| UnknownAttribute(name.to_string()))?;
+            entity.set_value(idx, value);
+        }
+        Ok(entity)
+    }
+
     /// Number of attribute values (must equal the schema length to be valid
     /// for that schema).
     pub fn len(&self) -> usize {
@@ -73,6 +91,19 @@ impl Entity {
     }
 }
 
+/// An attribute name that does not exist in the schema, from
+/// [`Entity::from_named_values`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownAttribute(pub String);
+
+impl std::fmt::Display for UnknownAttribute {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown attribute {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownAttribute {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,6 +121,26 @@ mod tests {
         let e = Entity::empty(3);
         assert_eq!(e.len(), 3);
         assert!(e.values().all(|v| v.is_empty()));
+    }
+
+    #[test]
+    fn from_named_values_aligns_to_schema_order() {
+        let s = Schema::from_names(vec!["name", "price"]);
+        let e = Entity::from_named_values(&s, [("price", "849.99"), ("name", "sony")]).unwrap();
+        assert_eq!(e.value(0), "sony");
+        assert_eq!(e.value(1), "849.99");
+        // Missing attributes stay empty.
+        let partial = Entity::from_named_values(&s, [("name", "sony")]).unwrap();
+        assert_eq!(partial.value(1), "");
+    }
+
+    #[test]
+    fn from_named_values_rejects_unknown_attributes() {
+        let s = Schema::from_names(vec!["name"]);
+        assert_eq!(
+            Entity::from_named_values(&s, [("brand", "sony")]).unwrap_err(),
+            UnknownAttribute("brand".to_string())
+        );
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod tokenizer;
 pub use blocking::{evaluate_blocking, token_blocking, BlockingConfig, BlockingQuality};
 pub use csv::{dataset_from_csv, dataset_to_csv, CsvError};
 pub use dataset::{EmDataset, SplitConfig};
-pub use entity::Entity;
+pub use entity::{Entity, UnknownAttribute};
 pub use model::MatchModel;
 pub use pair::{EntityPair, EntitySide, LabeledPair};
 pub use schema::Schema;

@@ -21,6 +21,16 @@ impl EntitySide {
         }
     }
 
+    /// Parses the prefix form back into a side (`"left"` / `"right"`),
+    /// e.g. from a decoded JSON field.
+    pub fn parse(s: &str) -> Option<EntitySide> {
+        match s {
+            "left" => Some(EntitySide::Left),
+            "right" => Some(EntitySide::Right),
+            _ => None,
+        }
+    }
+
     /// The opposite side.
     pub fn other(self) -> EntitySide {
         match self {
@@ -54,6 +64,25 @@ impl EntityPair {
     /// Builds a pair.
     pub fn new(left: Entity, right: Entity) -> Self {
         EntityPair { left, right }
+    }
+
+    /// Builds a pair from two `(attribute name, value)` lists, aligning
+    /// both sides to `schema` order — the constructor the serving layer
+    /// uses for records decoded from client JSON. See
+    /// [`Entity::from_named_values`] for the alignment rules.
+    pub fn from_named_values<'a, L, R>(
+        schema: &Schema,
+        left: L,
+        right: R,
+    ) -> Result<Self, crate::entity::UnknownAttribute>
+    where
+        L: IntoIterator<Item = (&'a str, &'a str)>,
+        R: IntoIterator<Item = (&'a str, &'a str)>,
+    {
+        Ok(EntityPair {
+            left: Entity::from_named_values(schema, left)?,
+            right: Entity::from_named_values(schema, right)?,
+        })
     }
 
     /// The entity on `side`.
@@ -133,6 +162,29 @@ mod tests {
         assert_eq!(EntitySide::Left.prefix(), "left");
         assert_eq!(EntitySide::Right.other(), EntitySide::Left);
         assert_eq!(EntitySide::both(), [EntitySide::Left, EntitySide::Right]);
+    }
+
+    #[test]
+    fn side_parse_inverts_prefix() {
+        for side in EntitySide::both() {
+            assert_eq!(EntitySide::parse(side.prefix()), Some(side));
+        }
+        assert_eq!(EntitySide::parse("middle"), None);
+    }
+
+    #[test]
+    fn from_named_values_builds_both_sides() {
+        let s = Schema::from_names(vec!["name", "price"]);
+        let p = EntityPair::from_named_values(
+            &s,
+            [("name", "sony camera"), ("price", "849.99")],
+            [("price", "7.99")],
+        )
+        .unwrap();
+        assert_eq!(p.left.value(0), "sony camera");
+        assert_eq!(p.right.value(0), "");
+        assert_eq!(p.right.value(1), "7.99");
+        assert!(EntityPair::from_named_values(&s, [("bogus", "x")], []).is_err());
     }
 
     #[test]

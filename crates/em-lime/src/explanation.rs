@@ -32,15 +32,36 @@ pub struct PairExplanation {
 
 impl PairExplanation {
     /// Token weights sorted by decreasing `|weight|`.
+    ///
+    /// Uses [`f64::total_cmp`] so a NaN coefficient (a degenerate surrogate
+    /// fit) ranks last instead of aborting — an online serving layer must
+    /// never panic on a weight it did not compute itself.
     pub fn ranked(&self) -> Vec<&TokenWeight> {
         let mut v: Vec<&TokenWeight> = self.token_weights.iter().collect();
-        v.sort_by(|a, b| {
-            b.weight
-                .abs()
-                .partial_cmp(&a.weight.abs())
-                .expect("weights are finite")
-        });
+        v.sort_by(|a, b| b.weight.abs().total_cmp(&a.weight.abs()));
         v
+    }
+
+    /// Number of token weights.
+    pub fn len(&self) -> usize {
+        self.token_weights.len()
+    }
+
+    /// Whether the explanation covers no tokens at all.
+    pub fn is_empty(&self) -> bool {
+        self.token_weights.is_empty()
+    }
+
+    /// Iterates the token weights in their stored (tokenization) order —
+    /// the flattened view a JSON encoder walks.
+    pub fn iter(&self) -> impl Iterator<Item = &TokenWeight> {
+        self.token_weights.iter()
+    }
+
+    /// Whether every coefficient (and the intercept) is finite — the
+    /// serving layer reports this so clients can spot degenerate fits.
+    pub fn all_finite(&self) -> bool {
+        self.intercept.is_finite() && self.token_weights.iter().all(|t| t.weight.is_finite())
     }
 
     /// The `k` tokens with the largest absolute weight.
@@ -141,6 +162,39 @@ mod tests {
         assert_eq!(r[0].token.text, "lens");
         assert_eq!(r[1].token.text, "sony");
         assert_eq!(r[3].token.text, "nikon");
+    }
+
+    #[test]
+    fn ranked_handles_nan_weights_without_panicking() {
+        // Regression: `partial_cmp(...).expect("weights are finite")`
+        // aborted here on a NaN coefficient. With total_cmp the sort is
+        // total: no panic, and the finite entries keep their order.
+        let mut e = explanation();
+        e.token_weights.push(TokenWeight {
+            side: EntitySide::Left,
+            token: Token::new(0, 1, "nan"),
+            weight: f64::NAN,
+        });
+        let r = e.ranked();
+        assert_eq!(r.len(), 5);
+        // The finite entries keep their relative order.
+        let finite: Vec<&str> = r
+            .iter()
+            .filter(|t| t.weight.is_finite())
+            .map(|t| t.token.text.as_str())
+            .collect();
+        assert_eq!(finite, vec!["lens", "sony", "case", "nikon"]);
+        assert!(!e.all_finite());
+        assert!(explanation().all_finite());
+    }
+
+    #[test]
+    fn len_and_iter_walk_stored_order() {
+        let e = explanation();
+        assert_eq!(e.len(), 4);
+        assert!(!e.is_empty());
+        let texts: Vec<&str> = e.iter().map(|t| t.token.text.as_str()).collect();
+        assert_eq!(texts, vec!["sony", "lens", "nikon", "case"]);
     }
 
     #[test]

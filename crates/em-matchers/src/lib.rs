@@ -27,4 +27,7 @@ pub use features::FeatureExtractor;
 pub use importance::{drop_column_importance, permutation_importance};
 pub use logistic_matcher::{LogisticMatcher, MatcherConfig};
 pub use naive_bayes::NaiveBayesMatcher;
-pub use persist::{deserialize_logistic, serialize_logistic, PersistError};
+pub use persist::{
+    deserialize_logistic, load_logistic_file, save_logistic_file, serialize_logistic, PersistError,
+    PersistFileError,
+};

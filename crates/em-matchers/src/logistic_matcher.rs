@@ -92,6 +92,12 @@ impl LogisticMatcher {
     pub fn extractor(&self) -> &FeatureExtractor {
         &self.extractor
     }
+
+    /// The fitted logistic model (e.g. for persisting with
+    /// `persist::save_logistic_file`).
+    pub fn model(&self) -> &LogisticModel {
+        &self.model
+    }
 }
 
 impl MatchModel for LogisticMatcher {

@@ -120,6 +120,46 @@ pub fn deserialize_logistic(text: &str, schema: &Schema) -> Result<LogisticModel
     })
 }
 
+/// Errors from loading a model file: I/O or parse.
+#[derive(Debug)]
+pub enum PersistFileError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The file contents did not deserialize.
+    Parse(PersistError),
+}
+
+impl std::fmt::Display for PersistFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistFileError::Io(e) => write!(f, "model file i/o: {e}"),
+            PersistFileError::Parse(e) => write!(f, "model file parse: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistFileError {}
+
+/// Writes the serialized model parameters to `path`.
+pub fn save_logistic_file(
+    path: &std::path::Path,
+    model: &LogisticModel,
+    schema: &Schema,
+) -> Result<(), PersistFileError> {
+    std::fs::write(path, serialize_logistic(model, schema)).map_err(PersistFileError::Io)
+}
+
+/// Reads and deserializes model parameters from `path`, validating against
+/// `schema`. This is how the `em-serve` binary loads a pre-trained matcher
+/// instead of training at startup.
+pub fn load_logistic_file(
+    path: &std::path::Path,
+    schema: &Schema,
+) -> Result<LogisticModel, PersistFileError> {
+    let text = std::fs::read_to_string(path).map_err(PersistFileError::Io)?;
+    deserialize_logistic(&text, schema).map_err(PersistFileError::Parse)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +230,21 @@ mod tests {
             deserialize_logistic(&text, &schema()).unwrap_err(),
             PersistError::BadLine(3)
         );
+    }
+
+    #[test]
+    fn file_roundtrip_and_missing_file() {
+        let dir = std::env::temp_dir().join("em-matchers-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.txt");
+        save_logistic_file(&path, &model(), &schema()).unwrap();
+        let back = load_logistic_file(&path, &schema()).unwrap();
+        assert_eq!(back.coefficients, model().coefficients);
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(
+            load_logistic_file(&path, &schema()).unwrap_err(),
+            PersistFileError::Io(_)
+        ));
     }
 
     #[test]

@@ -76,21 +76,29 @@ impl ParallelismConfig {
         self.threads != 1
     }
 
-    /// The number of workers a region with `n_items` items should fork:
-    /// bounded by the configured/detected thread count and by
-    /// `min_items_per_thread`, and always at least 1.
-    pub fn effective_threads(&self, n_items: usize) -> usize {
-        let hard_cap = match self.threads {
+    /// The resolved hard thread cap: the configured count, or the detected
+    /// core count when `threads == 0`, always at least 1. Long-lived worker
+    /// pools (e.g. a server's accept/worker pool) size themselves by this
+    /// directly, since they have no per-call item count to chunk by.
+    pub fn worker_count(&self) -> usize {
+        match self.threads {
             0 => std::thread::available_parallelism()
                 .map(NonZeroUsize::get)
                 .unwrap_or(1),
             n => n,
-        };
+        }
+        .max(1)
+    }
+
+    /// The number of workers a region with `n_items` items should fork:
+    /// bounded by the configured/detected thread count and by
+    /// `min_items_per_thread`, and always at least 1.
+    pub fn effective_threads(&self, n_items: usize) -> usize {
         let chunk_cap = match self.min_items_per_thread {
             0 => n_items,
             m => n_items / m,
         };
-        hard_cap.min(chunk_cap).max(1)
+        self.worker_count().min(chunk_cap).max(1)
     }
 }
 
@@ -151,6 +159,35 @@ where
     par_map(config, items, f).into_iter().flatten().collect()
 }
 
+/// Long-lived scoped workers: spawns `workers` threads each running
+/// `work(worker_index)`, runs `foreground()` on the calling thread, and
+/// joins everything before returning `foreground`'s result.
+///
+/// This is the second shape the workspace needs from scoped threads:
+/// [`par_map`] forks for the duration of one batch, `scoped_workers` forks
+/// for the duration of a *service* — `em-serve` runs its accept loop as the
+/// foreground and its request handlers as the workers. The foreground is
+/// responsible for telling workers to finish (e.g. by closing the queue
+/// they consume) before it returns; otherwise the join blocks forever.
+///
+/// A worker panic propagates after the foreground returns, matching
+/// [`par_map`]'s panic behaviour.
+pub fn scoped_workers<W, F, R>(workers: usize, work: W, foreground: F) -> R
+where
+    W: Fn(usize) + Sync,
+    F: FnOnce() -> R,
+{
+    std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = (0..workers).map(|w| scope.spawn(move || work(w))).collect();
+        let out = foreground();
+        for handle in handles {
+            handle.join().expect("scoped worker panicked");
+        }
+        out
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +243,60 @@ mod tests {
         let cfg = ParallelismConfig::with_threads(8);
         assert_eq!(par_map(&cfg, &[] as &[u8], |_, x| *x), Vec::<u8>::new());
         assert_eq!(par_map(&cfg, &[42u8], |_, x| *x), vec![42]);
+    }
+
+    #[test]
+    fn worker_count_resolves_auto_and_fixed() {
+        assert_eq!(ParallelismConfig::with_threads(5).worker_count(), 5);
+        assert_eq!(ParallelismConfig::serial().worker_count(), 1);
+        assert!(ParallelismConfig::auto().worker_count() >= 1);
+    }
+
+    #[test]
+    fn scoped_workers_join_after_foreground() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::{Condvar, Mutex};
+
+        // A tiny closeable queue: workers drain it, the foreground fills
+        // it and closes it — the shape em-serve uses.
+        let queue = Mutex::new((Vec::<usize>::new(), false));
+        let cond = Condvar::new();
+        let sum = AtomicUsize::new(0);
+        let result = scoped_workers(
+            3,
+            |_w| loop {
+                let mut guard = queue.lock().unwrap();
+                loop {
+                    if let Some(item) = guard.0.pop() {
+                        sum.fetch_add(item, Ordering::Relaxed);
+                        break;
+                    }
+                    if guard.1 {
+                        return;
+                    }
+                    guard = cond.wait(guard).unwrap();
+                }
+            },
+            || {
+                for i in 1..=100 {
+                    queue.lock().unwrap().0.push(i);
+                    cond.notify_one();
+                }
+                let mut guard = queue.lock().unwrap();
+                guard.1 = true;
+                cond.notify_all();
+                drop(guard);
+                "done"
+            },
+        );
+        assert_eq!(result, "done");
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped worker panicked")]
+    fn scoped_worker_panic_propagates() {
+        scoped_workers(2, |w| assert_ne!(w, 1, "boom"), || ());
     }
 
     #[test]

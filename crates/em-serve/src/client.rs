@@ -1,0 +1,102 @@
+//! A tiny blocking HTTP client for the integration tests and benches.
+//!
+//! Speaks exactly the dialect the server emits: one request per
+//! connection, `Connection: close`, body read to EOF and checked against
+//! `Content-Length`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A parsed response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// First header with the given lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Sends one request and reads the full response.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    let wire = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(wire.as_bytes())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn bad(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<ClientResponse> {
+    let text = std::str::from_utf8(raw).map_err(|_| bad("response is not utf-8"))?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| bad("no header/body separator"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line.split_once(':').ok_or_else(|| bad("bad header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let response = ClientResponse {
+        status,
+        headers,
+        body: body.to_string(),
+    };
+    if let Some(len) = response.header("content-length") {
+        let len: usize = len.parse().map_err(|_| bad("bad content-length"))?;
+        if response.body.len() != len {
+            return Err(bad("truncated body"));
+        }
+    }
+    Ok(response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\nX-Cache: hit\r\n\r\n{}";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("x-cache"), Some("hit"));
+        assert_eq!(r.body, "{}");
+    }
+
+    #[test]
+    fn rejects_truncated_bodies() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\n{}";
+        assert!(parse_response(raw).is_err());
+    }
+}

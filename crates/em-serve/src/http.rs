@@ -1,0 +1,293 @@
+//! Minimal HTTP/1.1 framing over `std::net` streams.
+//!
+//! Implements exactly what the service needs: request-line + header
+//! parsing, `Content-Length` bodies with a size cap, and response writing.
+//! Every connection is `Connection: close` — the worker pool gives
+//! concurrency, so keep-alive bookkeeping would buy latency only for
+//! clients that pipeline, which the bench shows is not the bottleneck
+//! (explanation compute is).
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Largest accepted request body (1 MiB) — an EM record pair is a few KB.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Largest accepted header section.
+const MAX_HEADER_BYTES: usize = 16 << 10;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// The request path (query strings are not used by this API).
+    pub path: String,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length`).
+    pub body: String,
+}
+
+impl Request {
+    /// First header with the given lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A framing/parse failure, mapped to a 4xx by the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line or header.
+    Malformed(String),
+    /// Body longer than [`MAX_BODY_BYTES`] (→ 413).
+    BodyTooLarge,
+    /// The socket failed or closed mid-request.
+    Io(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::BodyTooLarge => write!(f, "request body too large"),
+            HttpError::Io(m) => write!(f, "i/o: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Reads one HTTP/1.1 request from `stream`.
+pub fn read_request<S: Read>(stream: S) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing path".into()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("bad version {version:?}")));
+    }
+
+    let mut headers = Vec::new();
+    let mut header_bytes = 0usize;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        let trimmed = header.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        header_bytes += header.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(HttpError::Malformed("header section too large".into()));
+        }
+        let (name, value) = trimmed
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header line {trimmed:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::Malformed("bad content-length".into()))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::BodyTooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    let body =
+        String::from_utf8(body).map_err(|_| HttpError::Malformed("body is not utf-8".into()))?;
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// A response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra headers (e.g. `X-Cache`).
+    pub extra_headers: Vec<(String, String)>,
+    /// The body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// A plain-text response (used by `/metrics`).
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.extra_headers
+            .push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Serializes and writes the response (always `Connection: close`).
+    pub fn write_to<W: Write>(&self, mut stream: W) -> std::io::Result<()> {
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len(),
+        );
+        for (name, value) in &self.extra_headers {
+            out.push_str(name);
+            out.push_str(": ");
+            out.push_str(value);
+            out.push_str("\r\n");
+        }
+        out.push_str("\r\n");
+        out.push_str(&self.body);
+        stream.write_all(out.as_bytes())?;
+        stream.flush()
+    }
+}
+
+/// The reason phrase for the status codes this server emits.
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = "POST /explain HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"a\"";
+        let req = read_request(raw.as_bytes()).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/explain");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, "{\"a\"");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = read_request("GET /healthz HTTP/1.1\r\n\r\n".as_bytes()).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn header_names_are_lowercased() {
+        let req =
+            read_request("GET / HTTP/1.1\r\nX-Custom-THING:  v  \r\n\r\n".as_bytes()).unwrap();
+        assert_eq!(req.header("x-custom-thing"), Some("v"));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(matches!(
+            read_request("\r\n\r\n".as_bytes()),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_request("GET /\r\n\r\n".as_bytes()),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_request("GET / SPDY/9\r\n\r\n".as_bytes()),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_request("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n".as_bytes()),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_without_reading_them() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            read_request(raw.as_bytes()),
+            Err(HttpError::BodyTooLarge)
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error() {
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(matches!(
+            read_request(raw.as_bytes()),
+            Err(HttpError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn response_wire_format_is_well_formed() {
+        let mut buf = Vec::new();
+        Response::json(200, "{\"ok\":true}".to_string())
+            .with_header("X-Cache", "hit")
+            .write_to(&mut buf)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("X-Cache: hit\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

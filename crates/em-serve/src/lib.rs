@@ -1,0 +1,35 @@
+//! `em-serve` — an online explanation-serving subsystem.
+//!
+//! Turns the workspace's explainers into a network service: a
+//! dependency-free HTTP/1.1 server on `std::net` exposing
+//!
+//! * `POST /explain` — record pair + explainer choice + config overrides →
+//!   explanation JSON, answered from a sharded LRU cache when possible
+//!   (`X-Cache: hit|miss`); cached and fresh responses are bit-identical
+//!   because explanations are deterministic functions of
+//!   `(pair, explainer, config, seed)`;
+//! * `POST /predict` — record pair → match probability + decision;
+//! * `GET /healthz` — liveness;
+//! * `GET /metrics` — Prometheus text: per-endpoint request counters and
+//!   latency histograms, cache hit/miss/eviction counters;
+//! * `POST /shutdown` — graceful stop (in-flight requests drain).
+//!
+//! Concurrency comes from a bounded accept/worker pool built on
+//! `em_par::scoped_workers`, sized by [`em_par::ParallelismConfig`]. The
+//! [`json`] module is a self-contained parser/writer, so the crate adds no
+//! dependencies beyond the workspace.
+
+pub mod cache;
+pub mod client;
+pub mod codec;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod pool;
+pub mod server;
+
+pub use cache::{CacheStats, ShardedCache};
+pub use codec::{ExplainOptions, ExplainRequest, ExplainerKind};
+pub use json::{JsonError, Value};
+pub use metrics::{Endpoint, Metrics};
+pub use server::{Server, ServerConfig, ServerHandle};

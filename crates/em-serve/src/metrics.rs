@@ -1,0 +1,259 @@
+//! Lock-free request counters and latency histograms for `/metrics`.
+//!
+//! Rendered in the Prometheus text exposition format (counters and
+//! cumulative `_bucket{le=...}` histogram series) so any standard scraper
+//! can consume it, while staying dependency-free: every cell is an
+//! `AtomicU64` bumped on the request path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::cache::CacheStats;
+
+/// Histogram bucket upper bounds, in microseconds.
+pub const LATENCY_BUCKETS_US: [u64; 10] = [
+    100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000,
+];
+
+/// The endpoints tracked individually. `Other` covers 404/405/parse
+/// failures so every handled connection is counted somewhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /explain`.
+    Explain,
+    /// `POST /predict`.
+    Predict,
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /metrics`.
+    Metrics,
+    /// `POST /shutdown`.
+    Shutdown,
+    /// Anything else.
+    Other,
+}
+
+impl Endpoint {
+    /// All endpoints, in render order.
+    pub fn all() -> [Endpoint; 6] {
+        [
+            Endpoint::Explain,
+            Endpoint::Predict,
+            Endpoint::Healthz,
+            Endpoint::Metrics,
+            Endpoint::Shutdown,
+            Endpoint::Other,
+        ]
+    }
+
+    /// The metrics label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Explain => "explain",
+            Endpoint::Predict => "predict",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Shutdown => "shutdown",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::Explain => 0,
+            Endpoint::Predict => 1,
+            Endpoint::Healthz => 2,
+            Endpoint::Metrics => 3,
+            Endpoint::Shutdown => 4,
+            Endpoint::Other => 5,
+        }
+    }
+}
+
+#[derive(Default)]
+struct EndpointSeries {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    bucket_counts: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    latency_sum_us: AtomicU64,
+}
+
+/// The registry: one series per endpoint.
+#[derive(Default)]
+pub struct Metrics {
+    series: [EndpointSeries; 6],
+}
+
+impl Metrics {
+    /// A fresh registry with all counters at zero.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one request: its endpoint, latency, and whether it was
+    /// answered with a non-2xx status.
+    pub fn record(&self, endpoint: Endpoint, latency_us: u64, is_error: bool) {
+        let series = &self.series[endpoint.index()];
+        series.requests.fetch_add(1, Ordering::Relaxed);
+        if is_error {
+            series.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        series
+            .latency_sum_us
+            .fetch_add(latency_us, Ordering::Relaxed);
+        let bucket = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&bound| latency_us <= bound)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        series.bucket_counts[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests recorded for an endpoint.
+    pub fn requests(&self, endpoint: Endpoint) -> u64 {
+        self.series[endpoint.index()]
+            .requests
+            .load(Ordering::Relaxed)
+    }
+
+    /// Renders the Prometheus text exposition, including the cache
+    /// counters passed in (the cache lives next to the registry in the
+    /// server state).
+    pub fn render(&self, cache: &CacheStats, cache_len: usize) -> String {
+        let mut out = String::new();
+        out.push_str("# TYPE em_serve_requests_total counter\n");
+        for ep in Endpoint::all() {
+            let s = &self.series[ep.index()];
+            out.push_str(&format!(
+                "em_serve_requests_total{{endpoint=\"{}\"}} {}\n",
+                ep.label(),
+                s.requests.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# TYPE em_serve_request_errors_total counter\n");
+        for ep in Endpoint::all() {
+            let s = &self.series[ep.index()];
+            out.push_str(&format!(
+                "em_serve_request_errors_total{{endpoint=\"{}\"}} {}\n",
+                ep.label(),
+                s.errors.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# TYPE em_serve_request_latency_us histogram\n");
+        for ep in Endpoint::all() {
+            let s = &self.series[ep.index()];
+            let mut cumulative = 0u64;
+            for (i, &bound) in LATENCY_BUCKETS_US.iter().enumerate() {
+                cumulative += s.bucket_counts[i].load(Ordering::Relaxed);
+                out.push_str(&format!(
+                    "em_serve_request_latency_us_bucket{{endpoint=\"{}\",le=\"{}\"}} {}\n",
+                    ep.label(),
+                    bound,
+                    cumulative
+                ));
+            }
+            cumulative += s.bucket_counts[LATENCY_BUCKETS_US.len()].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "em_serve_request_latency_us_bucket{{endpoint=\"{}\",le=\"+Inf\"}} {}\n",
+                ep.label(),
+                cumulative
+            ));
+            out.push_str(&format!(
+                "em_serve_request_latency_us_sum{{endpoint=\"{}\"}} {}\n",
+                ep.label(),
+                s.latency_sum_us.load(Ordering::Relaxed)
+            ));
+            out.push_str(&format!(
+                "em_serve_request_latency_us_count{{endpoint=\"{}\"}} {}\n",
+                ep.label(),
+                s.requests.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# TYPE em_serve_cache_hits_total counter\n");
+        out.push_str(&format!(
+            "em_serve_cache_hits_total {}\n",
+            cache.hits.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE em_serve_cache_misses_total counter\n");
+        out.push_str(&format!(
+            "em_serve_cache_misses_total {}\n",
+            cache.misses.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE em_serve_cache_evictions_total counter\n");
+        out.push_str(&format!(
+            "em_serve_cache_evictions_total {}\n",
+            cache.evictions.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE em_serve_cache_entries gauge\n");
+        out.push_str(&format!("em_serve_cache_entries {cache_len}\n"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_fills_the_right_bucket() {
+        let m = Metrics::new();
+        m.record(Endpoint::Explain, 50, false); // <= 100
+        m.record(Endpoint::Explain, 700, false); // <= 1000
+        m.record(Endpoint::Explain, 10_000_000, true); // overflow bucket
+        assert_eq!(m.requests(Endpoint::Explain), 3);
+        let text = m.render(&CacheStats::default(), 0);
+        assert!(
+            text.contains("em_serve_request_latency_us_bucket{endpoint=\"explain\",le=\"100\"} 1")
+        );
+        assert!(
+            text.contains("em_serve_request_latency_us_bucket{endpoint=\"explain\",le=\"1000\"} 2")
+        );
+        assert!(
+            text.contains("em_serve_request_latency_us_bucket{endpoint=\"explain\",le=\"+Inf\"} 3")
+        );
+        assert!(text.contains("em_serve_request_errors_total{endpoint=\"explain\"} 1"));
+        assert!(text.contains("em_serve_request_latency_us_count{endpoint=\"explain\"} 3"));
+    }
+
+    #[test]
+    fn buckets_are_cumulative_in_render() {
+        let m = Metrics::new();
+        for us in [50, 50, 400, 900, 4000] {
+            m.record(Endpoint::Predict, us, false);
+        }
+        let text = m.render(&CacheStats::default(), 0);
+        assert!(
+            text.contains("em_serve_request_latency_us_bucket{endpoint=\"predict\",le=\"100\"} 2")
+        );
+        assert!(
+            text.contains("em_serve_request_latency_us_bucket{endpoint=\"predict\",le=\"500\"} 3")
+        );
+        assert!(
+            text.contains("em_serve_request_latency_us_bucket{endpoint=\"predict\",le=\"1000\"} 4")
+        );
+        assert!(
+            text.contains("em_serve_request_latency_us_bucket{endpoint=\"predict\",le=\"5000\"} 5")
+        );
+    }
+
+    #[test]
+    fn cache_counters_are_rendered() {
+        let m = Metrics::new();
+        let stats = CacheStats::default();
+        stats.hits.store(7, Ordering::Relaxed);
+        stats.misses.store(3, Ordering::Relaxed);
+        let text = m.render(&stats, 5);
+        assert!(text.contains("em_serve_cache_hits_total 7"));
+        assert!(text.contains("em_serve_cache_misses_total 3"));
+        assert!(text.contains("em_serve_cache_entries 5"));
+    }
+
+    #[test]
+    fn every_endpoint_has_a_requests_series() {
+        let text = Metrics::new().render(&CacheStats::default(), 0);
+        for ep in Endpoint::all() {
+            assert!(text.contains(&format!(
+                "em_serve_requests_total{{endpoint=\"{}\"}} 0",
+                ep.label()
+            )));
+        }
+    }
+}

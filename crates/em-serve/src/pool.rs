@@ -1,0 +1,158 @@
+//! The bounded connection queue between the accept loop and the workers.
+//!
+//! The worker threads themselves come from `em_par::scoped_workers` — the
+//! same scoped-thread primitive `par_map` forks on — so the whole server
+//! (accept loop + workers) joins cleanly when the queue closes. This
+//! module provides the channel in the middle: a mutex/condvar MPMC queue
+//! with a hard capacity. When the queue is full the accept loop sheds load
+//! immediately (503) instead of letting connections pile up unbounded.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded, closeable MPMC queue.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+/// Why a [`BoundedQueue::push`] was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the caller should shed the item.
+    Full(T),
+    /// The queue was closed; no more items are accepted.
+    Closed(T),
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues an item, or returns it if the queue is full/closed.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, blocking while the queue is open and empty.
+    /// Returns `None` only when the queue is closed **and** drained — so
+    /// closing lets in-flight work finish (graceful shutdown).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue and wakes every blocked consumer.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_sheds() {
+        let q = BoundedQueue::new(1);
+        q.push(1).unwrap();
+        assert_eq!(q.push(2), Err(PushError::Full(2)));
+    }
+
+    #[test]
+    fn closed_queue_rejects_pushes_but_drains_pops() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.close();
+        assert_eq!(q.push(2), Err(PushError::Closed(2)));
+        assert_eq!(q.pop(), Some(1)); // drains existing work
+        assert_eq!(q.pop(), None); // then reports closed
+    }
+
+    #[test]
+    fn consumers_wake_on_close_and_on_push() {
+        let q = BoundedQueue::new(16);
+        let drained = AtomicUsize::new(0);
+        em_par::scoped_workers(
+            4,
+            |_w| {
+                while q.pop().is_some() {
+                    drained.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            || {
+                for i in 0..100 {
+                    // Capacity backpressure: retry until accepted.
+                    let mut item = i;
+                    loop {
+                        match q.push(item) {
+                            Ok(()) => break,
+                            Err(PushError::Full(x)) => {
+                                item = x;
+                                std::thread::yield_now();
+                            }
+                            Err(PushError::Closed(_)) => unreachable!(),
+                        }
+                    }
+                }
+                q.close();
+            },
+        );
+        assert_eq!(drained.load(Ordering::Relaxed), 100);
+    }
+}

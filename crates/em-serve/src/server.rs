@@ -1,0 +1,292 @@
+//! The HTTP server: accept loop, worker pool, routing, and shutdown.
+//!
+//! One listener thread accepts connections and pushes them onto a
+//! [`BoundedQueue`]; `em_par::scoped_workers` runs the worker pool that
+//! drains it. When the queue is full the accept thread answers 503
+//! directly instead of queueing unbounded. `POST /shutdown` flips an
+//! atomic flag and pokes the listener with a loopback connection so
+//! `accept` wakes up; closing the queue then lets every in-flight request
+//! finish before `run` returns.
+
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use em_entity::{MatchModel, Schema};
+use em_par::ParallelismConfig;
+
+use crate::cache::ShardedCache;
+use crate::codec::{self, ExplainOptions};
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::json::Value;
+use crate::metrics::{Endpoint, Metrics};
+use crate::pool::{BoundedQueue, PushError};
+
+/// How long a worker waits for a slow client before giving up on it.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Server tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker-pool sizing; `worker_count()` resolves `threads: 0` to the
+    /// core count.
+    pub parallelism: ParallelismConfig,
+    /// Accepted-but-unserved connections held before shedding with 503.
+    pub queue_depth: usize,
+    /// Explanation-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Explanation-cache shard count.
+    pub cache_shards: usize,
+    /// Default explainer options, overridable per request via `"config"`.
+    pub defaults: ExplainOptions,
+    /// Decision threshold for `POST /predict`.
+    pub predict_threshold: f64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            parallelism: ParallelismConfig::auto(),
+            queue_depth: 64,
+            cache_capacity: 1024,
+            cache_shards: 8,
+            defaults: ExplainOptions::default(),
+            predict_threshold: 0.5,
+        }
+    }
+}
+
+/// Everything the request handlers share.
+struct AppState {
+    schema: Schema,
+    model: Box<dyn MatchModel + Send + Sync>,
+    cache: ShardedCache,
+    metrics: Metrics,
+    defaults: ExplainOptions,
+    predict_threshold: f64,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// A bound explanation server. [`Server::run`] blocks until shutdown;
+/// [`Server::spawn`] runs it on a background thread for tests.
+pub struct Server {
+    listener: TcpListener,
+    workers: usize,
+    queue_depth: usize,
+    state: AppState,
+}
+
+impl Server {
+    /// Binds the listener and assembles the server state. Bind to port 0
+    /// for an ephemeral port (tests).
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        schema: Schema,
+        model: Box<dyn MatchModel + Send + Sync>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            workers: config.parallelism.worker_count(),
+            queue_depth: config.queue_depth,
+            state: AppState {
+                schema,
+                model,
+                cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
+                metrics: Metrics::new(),
+                defaults: config.defaults,
+                predict_threshold: config.predict_threshold,
+                shutdown: AtomicBool::new(false),
+                addr,
+            },
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Serves until a `POST /shutdown` arrives, then drains in-flight
+    /// requests and returns.
+    pub fn run(self) {
+        let state = &self.state;
+        let queue: BoundedQueue<TcpStream> = BoundedQueue::new(self.queue_depth);
+        let queue = &queue;
+        em_par::scoped_workers(
+            self.workers,
+            |_worker| {
+                while let Some(stream) = queue.pop() {
+                    handle_connection(state, stream);
+                }
+            },
+            || {
+                for incoming in self.listener.incoming() {
+                    if state.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let stream = match incoming {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    if let Err(PushError::Full(stream) | PushError::Closed(stream)) =
+                        queue.push(stream)
+                    {
+                        // Shed load in the accept thread; never block on a
+                        // full pool.
+                        let resp = Response::json(503, error_body("server overloaded"));
+                        let _ = resp.write_to(&stream);
+                        state.metrics.record(Endpoint::Other, 0, true);
+                    }
+                }
+                queue.close();
+            },
+        );
+    }
+
+    /// Runs the server on a background thread, returning a handle with the
+    /// bound address.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let thread = std::thread::spawn(move || self.run());
+        ServerHandle { addr, thread }
+    }
+}
+
+/// Handle to a [`Server::spawn`]ed server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the server to finish (after a `/shutdown` request).
+    pub fn join(self) {
+        self.thread.join().expect("server thread panicked");
+    }
+}
+
+fn error_body(message: &str) -> String {
+    Value::object(vec![("error", Value::string(message))]).to_json()
+}
+
+/// Reads, routes, answers, and records one connection.
+fn handle_connection(state: &AppState, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let start = Instant::now();
+    let (endpoint, response, is_shutdown) = match read_request(&stream) {
+        Ok(request) => route(state, &request),
+        Err(HttpError::BodyTooLarge) => (
+            Endpoint::Other,
+            Response::json(413, error_body("request body too large")),
+            false,
+        ),
+        Err(err) => (
+            Endpoint::Other,
+            Response::json(400, error_body(&err.to_string())),
+            false,
+        ),
+    };
+    let latency_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    state
+        .metrics
+        .record(endpoint, latency_us, response.status >= 400);
+    let _ = response.write_to(&stream);
+    drop(stream);
+    if is_shutdown {
+        state.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop so it observes the flag; the dummy
+        // connection is dropped unanswered.
+        let _ = TcpStream::connect(state.addr);
+    }
+}
+
+/// Maps a request to (endpoint, response, initiate-shutdown).
+fn route(state: &AppState, request: &Request) -> (Endpoint, Response, bool) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/explain") => (Endpoint::Explain, handle_explain(state, request), false),
+        ("POST", "/predict") => (Endpoint::Predict, handle_predict(state, request), false),
+        ("GET", "/healthz") => (
+            Endpoint::Healthz,
+            Response::json(
+                200,
+                Value::object(vec![("status", Value::string("ok"))]).to_json(),
+            ),
+            false,
+        ),
+        ("GET", "/metrics") => (
+            Endpoint::Metrics,
+            Response::text(
+                200,
+                state.metrics.render(state.cache.stats(), state.cache.len()),
+            ),
+            false,
+        ),
+        ("POST", "/shutdown") => (
+            Endpoint::Shutdown,
+            Response::json(
+                200,
+                Value::object(vec![("shutting_down", true.into())]).to_json(),
+            ),
+            true,
+        ),
+        (_, "/explain" | "/predict" | "/shutdown") => (
+            Endpoint::Other,
+            Response::json(405, error_body("use POST")),
+            false,
+        ),
+        (_, "/healthz" | "/metrics") => (
+            Endpoint::Other,
+            Response::json(405, error_body("use GET")),
+            false,
+        ),
+        _ => (
+            Endpoint::Other,
+            Response::json(404, error_body("no such endpoint")),
+            false,
+        ),
+    }
+}
+
+fn handle_explain(state: &AppState, request: &Request) -> Response {
+    let decoded = match codec::decode_explain_request(&request.body, &state.schema, &state.defaults)
+    {
+        Ok(d) => d,
+        Err(msg) => return Response::json(400, error_body(&msg)),
+    };
+    let key = codec::cache_key(&state.schema, &decoded);
+    if let Some(body) = state.cache.get(&key) {
+        // The cached body is bit-identical to a fresh computation (the
+        // explanation is a deterministic function of the key), so only the
+        // X-Cache header distinguishes this path.
+        return Response::json(200, body).with_header("X-Cache", "hit");
+    }
+    let body = codec::run_explain(&state.model, &state.schema, &decoded).to_json();
+    state.cache.insert(key, body.clone());
+    Response::json(200, body).with_header("X-Cache", "miss")
+}
+
+fn handle_predict(state: &AppState, request: &Request) -> Response {
+    let root = match Value::parse(&request.body) {
+        Ok(v) => v,
+        Err(e) => return Response::json(400, error_body(&e.to_string())),
+    };
+    let pair = match codec::decode_pair(&root, &state.schema) {
+        Ok(p) => p,
+        Err(msg) => return Response::json(400, error_body(&msg)),
+    };
+    let probability = state.model.predict_proba(&state.schema, &pair);
+    Response::json(
+        200,
+        codec::encode_prediction(probability, state.predict_threshold).to_json(),
+    )
+}

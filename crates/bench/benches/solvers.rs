@@ -26,7 +26,11 @@ fn random_problem(n: usize, d: usize, seed: u64) -> (Matrix, Vec<f64>, Vec<f64>)
         .map(|r| r.iter().zip(&beta).map(|(x, b)| x * b).sum::<f64>() + rng.gen_range(-0.05..0.05))
         .collect();
     let w: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..1.0)).collect();
-    (Matrix::from_rows(&rows).unwrap(), y, w)
+    (
+        Matrix::from_rows(&rows).expect("rows share one width"),
+        y,
+        w,
+    )
 }
 
 fn bench_surrogate_solvers(c: &mut Criterion) {
@@ -35,10 +39,10 @@ fn bench_surrogate_solvers(c: &mut Criterion) {
     for d in [20usize, 40, 60] {
         let (x, y, w) = random_problem(500, d, 42);
         group.bench_with_input(BenchmarkId::new("ridge", d), &d, |b, _| {
-            b.iter(|| ridge_fit(&x, &y, &w, &RidgeConfig::default()).unwrap());
+            b.iter(|| ridge_fit(&x, &y, &w, &RidgeConfig::default()).expect("ridge fit"));
         });
         group.bench_with_input(BenchmarkId::new("lasso", d), &d, |b, _| {
-            b.iter(|| lasso_fit(&x, &y, &w, &LassoConfig::default()).unwrap());
+            b.iter(|| lasso_fit(&x, &y, &w, &LassoConfig::default()).expect("lasso fit"));
         });
     }
     group.finish();
@@ -60,7 +64,7 @@ fn bench_logistic_training(c: &mut Criterion) {
                         ..Default::default()
                     },
                 )
-                .unwrap()
+                .expect("logistic fit")
             });
         });
     }

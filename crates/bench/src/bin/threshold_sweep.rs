@@ -25,7 +25,7 @@ fn main() {
                 for t in &lr.techniques {
                     print!(
                         "  {tag}/{}: acc={:.2} int={:.2}",
-                        t.technique.label().chars().next().unwrap(),
+                        t.technique.label().chars().next().unwrap_or('?'),
                         t.token.accuracy,
                         t.interest
                     );

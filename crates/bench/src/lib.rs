@@ -12,6 +12,8 @@
 //! * `THREADS` — worker threads for per-record explanation (`0` = one per
 //!   core, `1` = serial; default `0`). Results are identical for any value.
 
+#![forbid(unsafe_code)]
+
 use em_datagen::DatasetId;
 use em_eval::{EvalConfig, ParallelismConfig};
 

@@ -104,13 +104,7 @@ pub fn counterfactual<M: MatchModel>(
             }
         })
         .collect();
-    order.sort_by(|&a, &b| {
-        slots[b]
-            .weight
-            .abs()
-            .partial_cmp(&slots[a].weight.abs())
-            .expect("finite weights")
-    });
+    order.sort_by(|&a, &b| slots[b].weight.abs().total_cmp(&slots[a].weight.abs()));
 
     let rebuild = |slots: &[Slot]| -> EntityPair {
         let kept: Vec<Token> = slots
@@ -310,5 +304,50 @@ mod tests {
         // Removing the only shared token flips it.
         assert!(cf.flipped);
         assert_eq!(cf.edits.len(), 1);
+    }
+
+    #[test]
+    fn nan_weights_do_not_panic() {
+        // Regression: the candidate ordering used partial_cmp().expect(),
+        // which panicked when an explanation carried a NaN coefficient
+        // (e.g. from a degenerate surrogate fit).
+        use crate::strategy::ResolvedStrategy;
+        use em_entity::Token;
+        use em_lime::explanation::{PairExplanation, TokenWeight};
+
+        let pair = EntityPair::new(Entity::new(vec!["a b"]), Entity::new(vec!["a c"]));
+        let token_weights = vec![
+            TokenWeight {
+                side: EntitySide::Right,
+                token: Token::new(0, 0, "a"),
+                weight: f64::NAN,
+            },
+            TokenWeight {
+                side: EntitySide::Right,
+                token: Token::new(0, 1, "c"),
+                weight: 0.4,
+            },
+        ];
+        let le = LandmarkExplanation {
+            landmark: EntitySide::Left,
+            varying: EntitySide::Right,
+            strategy: ResolvedStrategy::SingleEntity,
+            explanation: PairExplanation {
+                token_weights,
+                intercept: 0.0,
+                model_prediction: 0.9,
+                surrogate_prediction: 0.9,
+                surrogate_r2: 1.0,
+            },
+            injected: vec![false, false],
+        };
+        let cf = counterfactual(
+            &Overlap,
+            &schema(),
+            &pair,
+            &le,
+            &CounterfactualConfig::default(),
+        );
+        assert!(cf.probability.is_finite());
     }
 }

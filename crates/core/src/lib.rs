@@ -29,6 +29,9 @@
 //!
 //! Entry point: [`LandmarkExplainer`].
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod anchor;
 pub mod counterfactual;
 pub mod explainer;

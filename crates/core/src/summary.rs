@@ -6,7 +6,7 @@
 //! global picture: mean absolute attribute importance and the tokens that
 //! recur with the strongest consistent push towards match / non-match.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use em_entity::Schema;
 
@@ -48,7 +48,9 @@ pub fn summarize(
 ) -> ExplanationSummary {
     let mut attr_sum = vec![0.0; schema.len()];
     let mut attr_n = vec![0usize; schema.len()];
-    let mut token_stats: HashMap<String, (usize, f64)> = HashMap::new();
+    // BTreeMap so the pre-sort aggregate order (and thus tie-broken output
+    // order) never depends on per-process hasher seeding.
+    let mut token_stats: BTreeMap<String, (usize, f64)> = BTreeMap::new();
 
     for le in explanations {
         for tw in &le.explanation.token_weights {
@@ -78,8 +80,7 @@ pub fn summarize(
         .collect();
     aggregates.sort_by(|a, b| {
         b.mean_weight
-            .partial_cmp(&a.mean_weight)
-            .expect("finite weights")
+            .total_cmp(&a.mean_weight)
             .then_with(|| a.key.cmp(&b.key))
     });
     let match_tokens: Vec<TokenAggregate> = aggregates
@@ -193,5 +194,21 @@ mod tests {
         let s = summarize(&schema(), &[&a], 1);
         assert!(s.match_tokens.is_empty());
         assert!(s.non_match_tokens.is_empty());
+    }
+
+    #[test]
+    fn nan_weights_do_not_panic() {
+        // Regression: the aggregate sort used partial_cmp().expect(), which
+        // panicked as soon as one explanation carried a NaN weight.
+        let a = le(vec![(0, "nan", f64::NAN), (0, "sony", 0.4)]);
+        let s = summarize(&schema(), &[&a], 1);
+        assert_eq!(s.n_explanations, 1);
+        // A NaN mean weight is neither > 0 nor < 0: it lands in no list.
+        assert!(s
+            .match_tokens
+            .iter()
+            .chain(&s.non_match_tokens)
+            .all(|t| t.key != "name/nan"));
+        assert!(s.match_tokens.iter().any(|t| t.key == "name/sony"));
     }
 }

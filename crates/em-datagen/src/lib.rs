@@ -22,6 +22,9 @@
 //!
 //! Everything is seeded and deterministic.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod benchmark;
 pub mod corruption;
 pub mod domains;

@@ -14,6 +14,9 @@
 //! * the [`MatchModel`] trait implemented by every EM model in the
 //!   workspace and consumed by every explainer.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod blocking;
 pub mod csv;
 pub mod dataset;

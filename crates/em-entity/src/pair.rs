@@ -4,7 +4,7 @@ use crate::entity::Entity;
 use crate::schema::Schema;
 
 /// Which entity of a pair is being referenced.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum EntitySide {
     /// The left entity (first dataset).
     Left,

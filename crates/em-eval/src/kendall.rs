@@ -11,10 +11,12 @@
 //! the item's rank in the **reference** scoring `a`.
 
 /// Ranks of the items by decreasing score (rank 0 = largest). Ties get the
-/// order of their first appearance, which is deterministic.
+/// order of their first appearance, which is deterministic. `total_cmp`
+/// keeps the ranking total on NaN scores (positive NaN ranks first)
+/// instead of panicking mid-evaluation.
 fn ranks_desc(scores: &[f64]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&i, &j| scores[j].partial_cmp(&scores[i]).expect("finite scores"));
+    idx.sort_by(|&i, &j| scores[j].total_cmp(&scores[i]));
     let mut ranks = vec![0usize; scores.len()];
     for (rank, &item) in idx.iter().enumerate() {
         ranks[item] = rank;
@@ -143,5 +145,16 @@ mod tests {
     #[should_panic(expected = "must align")]
     fn length_mismatch_panics() {
         weighted_kendall_tau(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn nan_scores_do_not_panic() {
+        // Regression: ranks_desc used partial_cmp().expect(), which panicked
+        // on NaN scores. total_cmp ranks NaN deterministically instead.
+        let a = [f64::NAN, 1.0, 0.5];
+        let b = [0.3, f64::NAN, 0.1];
+        let t = weighted_kendall_tau(&a, &b);
+        assert!((-1.0..=1.0).contains(&t), "{t}");
+        assert!((-1.0..=1.0).contains(&weighted_kendall_tau(&b, &a)));
     }
 }

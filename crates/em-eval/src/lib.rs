@@ -18,6 +18,9 @@
 //!   table rows;
 //! * [`tables`] — plain-text table formatting.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod attr_eval;
 pub mod interest_eval;
 pub mod kendall;

@@ -75,7 +75,7 @@ pub fn explanation_stability<M: MatchModel + Sync>(
         .iter()
         .map(|run| {
             let mut sorted: Vec<&(Key, f64)> = run.iter().collect();
-            sorted.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite"));
+            sorted.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
             sorted.into_iter().take(k).map(|(key, _)| *key).collect()
         })
         .collect();
@@ -90,8 +90,11 @@ pub fn explanation_stability<M: MatchModel + Sync>(
         }
     }
 
-    // Weight coefficient of variation per token, averaged.
-    let mut by_token: std::collections::HashMap<Key, Vec<f64>> = std::collections::HashMap::new();
+    // Weight coefficient of variation per token, averaged. BTreeMap, not
+    // HashMap: the float accumulations below run in iteration order, and
+    // HashMap order is seeded per process — a BTreeMap keeps `weight_cv`
+    // bit-identical across runs.
+    let mut by_token: std::collections::BTreeMap<Key, Vec<f64>> = std::collections::BTreeMap::new();
     for run in &runs {
         for &(key, w) in run {
             by_token.entry(key).or_default().push(w);
@@ -227,5 +230,28 @@ mod tests {
     #[should_panic(expected = "at least two seeds")]
     fn single_seed_is_rejected() {
         explanation_stability(&Overlap, &schema(), &pair(), Technique::Lime, 50, 3, &[1]);
+    }
+
+    #[test]
+    fn nan_model_probabilities_do_not_panic() {
+        // Regression: the top-k sort used partial_cmp().expect("finite"),
+        // which panicked when a model emitted NaN probabilities and the
+        // surrogate weights went NaN with them.
+        struct NanModel;
+        impl MatchModel for NanModel {
+            fn predict_proba(&self, _: &Schema, _: &EntityPair) -> f64 {
+                f64::NAN
+            }
+        }
+        let r = explanation_stability(
+            &NanModel,
+            &schema(),
+            &pair(),
+            Technique::Lime,
+            40,
+            3,
+            &[1, 2],
+        );
+        assert_eq!(r.n_seeds, 2);
     }
 }

@@ -19,6 +19,9 @@
 //! * [`explanation`] — the [`PairExplanation`] result type shared by all
 //!   explainers in the workspace (including `landmark-core`).
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod anchor;
 pub mod explanation;
 pub mod lime;

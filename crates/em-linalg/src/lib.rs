@@ -21,6 +21,9 @@
 //! Everything is implemented from scratch on `f64`, with no third-party
 //! dependencies, and is deterministic.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod cholesky;
 pub mod kernel;
 pub mod lasso;

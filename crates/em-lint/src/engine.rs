@@ -1,0 +1,246 @@
+//! Walks the workspace, runs the rule catalog, and applies suppressions.
+//!
+//! ## Suppression policy
+//!
+//! A violation is silenced by a comment naming its rule **with a
+//! justification** (DESIGN.md §9):
+//!
+//! ```text
+//! // em-lint: allow(panic-in-request-path) -- pos <= len is a scanner invariant
+//! ```
+//!
+//! A trailing comment covers its own line; a standalone comment covers
+//! the next code line. A suppression without a ` -- reason` clause, or
+//! naming a rule that does not exist, is itself reported as a violation
+//! (`suppression-missing-reason` / `unknown-rule`) — and those meta
+//! violations cannot be suppressed, so the annotation debt is always
+//! visible.
+
+use crate::context::FileContext;
+use crate::rules::{run_all, RULE_NAMES};
+use std::path::{Path, PathBuf};
+
+/// A reportable violation with its workspace-relative location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule identifier (a catalog rule or a suppression meta rule).
+    pub rule: String,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+/// Outcome of linting a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed violations, sorted by file then line.
+    pub violations: Vec<Violation>,
+    /// Count of findings silenced by a justified suppression.
+    pub suppressed: usize,
+    /// Number of files scanned.
+    pub files_checked: usize,
+}
+
+impl Report {
+    /// Whether the tree is clean (gates the process exit code).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Lints one source text as if it lived at `path` (workspace relative).
+/// This is the engine's unit of work and what the golden tests drive.
+pub fn lint_source(path: &str, source: &str) -> (Vec<Violation>, usize) {
+    let ctx = FileContext::new(path, source);
+    let findings = run_all(&ctx);
+    let mut violations = Vec::new();
+    let mut suppressed_count = 0usize;
+
+    // Resolve the line each suppression covers: trailing comments cover
+    // their own line, standalone ones the next code line.
+    struct Cover {
+        line: usize,
+        rules: Vec<String>,
+        justified: bool,
+    }
+    let mut covers = Vec::new();
+    for s in &ctx.lexed.suppressions {
+        let covered = if s.trailing {
+            s.line
+        } else {
+            (s.line + 1..=ctx.lexed.n_lines)
+                .find(|&l| ctx.lexed.code_lines.get(l - 1).copied().unwrap_or(false))
+                .unwrap_or(s.line)
+        };
+        for rule in &s.rules {
+            if !RULE_NAMES.contains(&rule.as_str()) {
+                violations.push(Violation {
+                    rule: "unknown-rule".to_string(),
+                    file: path.to_string(),
+                    line: s.line,
+                    message: format!(
+                        "suppression names unknown rule `{rule}` (known: {})",
+                        RULE_NAMES.join(", ")
+                    ),
+                });
+            }
+        }
+        if s.reason.is_none() {
+            violations.push(Violation {
+                rule: "suppression-missing-reason".to_string(),
+                file: path.to_string(),
+                line: s.line,
+                message: format!(
+                    "suppression of `{}` has no justification; write \
+                     `// em-lint: allow({}) -- <why this is sound>`",
+                    s.rules.join(", "),
+                    s.rules.join(", ")
+                ),
+            });
+        }
+        covers.push(Cover {
+            line: covered,
+            rules: s.rules.clone(),
+            justified: s.reason.is_some(),
+        });
+    }
+    for (line, desc) in &ctx.lexed.malformed {
+        violations.push(Violation {
+            rule: "suppression-missing-reason".to_string(),
+            file: path.to_string(),
+            line: *line,
+            message: format!("malformed em-lint comment: {desc}"),
+        });
+    }
+
+    for f in findings {
+        let silenced = covers
+            .iter()
+            .any(|c| c.justified && c.line == f.line && c.rules.iter().any(|r| r == f.rule));
+        if silenced {
+            suppressed_count += 1;
+        } else {
+            violations.push(Violation {
+                rule: f.rule.to_string(),
+                file: path.to_string(),
+                line: f.line,
+                message: f.message,
+            });
+        }
+    }
+    violations.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(&b.rule)));
+    (violations, suppressed_count)
+}
+
+/// Lints every workspace `.rs` file under `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut report = Report::default();
+    for rel in files {
+        let abs = root.join(&rel);
+        let source = std::fs::read_to_string(&abs)?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let (violations, suppressed) = lint_source(&rel_str, &source);
+        report.violations.extend(violations);
+        report.suppressed += suppressed;
+        report.files_checked += 1;
+    }
+    Ok(report)
+}
+
+/// Directories never scanned: build output, VCS metadata, and the lint
+/// crate's own fixtures (which are violations *by construction*).
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "fixtures"];
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Finds the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` contains a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_suppression_with_reason_silences() {
+        let src = "fn f(xs: &[f64]) {\n    \
+            let mut v: Vec<f64> = xs.to_vec();\n    \
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // em-lint: allow(float-partial-cmp) -- inputs pre-validated finite\n\
+            }\n";
+        let (violations, suppressed) = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(violations, vec![]);
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn standalone_suppression_covers_next_code_line() {
+        let src = "fn f(a: f64, b: f64) {\n    \
+            // em-lint: allow(float-partial-cmp) -- comparison feeds a debug assert only\n\n    \
+            let _ = a.partial_cmp(&b).unwrap();\n}\n";
+        let (violations, suppressed) = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(violations, vec![]);
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn suppression_without_reason_is_a_violation_and_does_not_silence() {
+        let src = "fn f(a: f64, b: f64) {\n    \
+            let _ = a.partial_cmp(&b).unwrap(); // em-lint: allow(float-partial-cmp)\n}\n";
+        let (violations, _) = lint_source("crates/core/src/x.rs", src);
+        let rules: Vec<&str> = violations.iter().map(|v| v.rule.as_str()).collect();
+        assert!(rules.contains(&"suppression-missing-reason"));
+        assert!(rules.contains(&"float-partial-cmp"));
+    }
+
+    #[test]
+    fn unknown_rule_in_suppression_is_reported() {
+        let src = "fn f() {} // em-lint: allow(no-such-rule) -- whatever\n";
+        let (violations, _) = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, "unknown-rule");
+    }
+
+    #[test]
+    fn find_workspace_root_walks_up() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("Cargo.toml").exists());
+        assert!(root.join("crates").is_dir());
+    }
+}

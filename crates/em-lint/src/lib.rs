@@ -1,0 +1,42 @@
+//! `em-lint` — the workspace's static-analysis pass.
+//!
+//! Explanations are only trustworthy if the pipeline that produces them
+//! is **deterministic** (same seed, same bytes — DESIGN.md §7/§8) and
+//! **total** (no panic on any input). Those are invariants of the whole
+//! codebase, not of one module, so this crate enforces them as named,
+//! machine-checked rules over every workspace `.rs` file:
+//!
+//! * [`float-partial-cmp`](rules) — float orderings must use
+//!   `f64::total_cmp`, never `partial_cmp().unwrap()`;
+//! * [`hashmap-iter-order`](rules) — output-producing crates must not
+//!   iterate hash-ordered collections;
+//! * [`wallclock-in-seeded-path`](rules) — no ambient clocks or thread
+//!   ids in seeded pipeline crates;
+//! * [`panic-in-request-path`](rules) — the serving request path is
+//!   panic-free;
+//! * [`pub-item-docs`](rules) — public library items carry docs.
+//!
+//! Violations can be silenced only by a justified inline suppression
+//! (`// em-lint: allow(<rule>) -- <reason>`); an unjustified suppression
+//! is itself a violation. Run it as:
+//!
+//! ```text
+//! cargo run -p em-lint -- check [--format json] [--root <dir>]
+//! ```
+//!
+//! The engine is dependency-free: a small hand-rolled Rust lexer
+//! ([`lexer`]) feeds per-file structure ([`context`]) into the rule
+//! catalog ([`rules`]), and [`engine`] walks the tree and applies the
+//! suppression policy. See DESIGN.md §9 for the rule-by-rule rationale.
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use engine::{find_workspace_root, lint_source, lint_workspace, Report, Violation};

@@ -1,0 +1,81 @@
+//! CLI for the workspace static-analysis pass.
+//!
+//! ```text
+//! em-lint check [--format human|json] [--root <dir>]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error —
+//! so `cargo run -p em-lint -- check` gates CI directly.
+
+use em_lint::{find_workspace_root, lint_workspace, report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: em-lint check [--format human|json] [--root <dir>]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("em-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut iter = args.iter();
+    match iter.next().map(String::as_str) {
+        Some("check") => {}
+        Some(other) => return Err(format!("unknown command `{other}`\n{USAGE}")),
+        None => return Err(USAGE.to_string()),
+    }
+    let mut format = "human".to_string();
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--format" => {
+                format = iter
+                    .next()
+                    .ok_or_else(|| format!("--format needs a value\n{USAGE}"))?
+                    .clone();
+                if format != "human" && format != "json" {
+                    return Err(format!("unknown format `{format}` (human|json)"));
+                }
+            }
+            "--root" => {
+                root = Some(PathBuf::from(
+                    iter.next()
+                        .ok_or_else(|| format!("--root needs a value\n{USAGE}"))?,
+                ));
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            find_workspace_root(&cwd)
+                .ok_or("no workspace root found (no ancestor Cargo.toml with [workspace])")?
+        }
+    };
+    let report = lint_workspace(&root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let rendered = match format.as_str() {
+        "json" => {
+            let mut s = report::render_json(&report);
+            s.push('\n');
+            s
+        }
+        _ => report::render_human(&report),
+    };
+    print!("{rendered}");
+    Ok(report.is_clean())
+}

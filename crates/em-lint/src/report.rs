@@ -1,0 +1,111 @@
+//! Rendering a [`Report`] for humans and for CI.
+//!
+//! The JSON form is emitted with a tiny self-contained writer (the crate
+//! is dependency-free by design) and is what the `lint-invariants` CI job
+//! uploads as an artifact.
+
+use crate::engine::Report;
+
+/// Renders the report as `file:line: [rule] message` lines plus a
+/// one-line summary — the default terminal format.
+pub fn render_human(report: &Report) -> String {
+    let mut out = String::new();
+    for v in &report.violations {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            v.file, v.line, v.rule, v.message
+        ));
+    }
+    out.push_str(&format!(
+        "em-lint: {} file(s) checked, {} violation(s), {} suppressed\n",
+        report.files_checked,
+        report.violations.len(),
+        report.suppressed
+    ));
+    out
+}
+
+/// Renders the report as a single JSON object:
+/// `{"files_checked":N,"suppressed":N,"violations":[{"rule","file","line","message"},..]}`.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\"files_checked\":");
+    out.push_str(&report.files_checked.to_string());
+    out.push_str(",\"suppressed\":");
+    out.push_str(&report.suppressed.to_string());
+    out.push_str(",\"violations\":[");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"rule\":");
+        write_json_string(&v.rule, &mut out);
+        out.push_str(",\"file\":");
+        write_json_string(&v.file, &mut out);
+        out.push_str(",\"line\":");
+        out.push_str(&v.line.to_string());
+        out.push_str(",\"message\":");
+        write_json_string(&v.message, &mut out);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Violation;
+
+    fn sample() -> Report {
+        Report {
+            violations: vec![Violation {
+                rule: "float-partial-cmp".to_string(),
+                file: "crates/x/src/a.rs".to_string(),
+                line: 7,
+                message: "uses \"partial_cmp\"".to_string(),
+            }],
+            suppressed: 2,
+            files_checked: 3,
+        }
+    }
+
+    #[test]
+    fn human_format_has_file_line_spans() {
+        let text = render_human(&sample());
+        assert!(text.contains("crates/x/src/a.rs:7: [float-partial-cmp]"));
+        assert!(text.contains("3 file(s) checked, 1 violation(s), 2 suppressed"));
+    }
+
+    #[test]
+    fn json_format_is_well_formed_and_escaped() {
+        let json = render_json(&sample());
+        assert!(json.starts_with("{\"files_checked\":3"));
+        assert!(json.contains("\"line\":7"));
+        assert!(json.contains("uses \\\"partial_cmp\\\""));
+        assert!(json.ends_with("}]}"));
+    }
+
+    #[test]
+    fn empty_report_renders_empty_array() {
+        let json = render_json(&Report::default());
+        assert!(json.contains("\"violations\":[]"));
+    }
+}

@@ -1,0 +1,448 @@
+//! The rule catalog.
+//!
+//! Each rule encodes one project invariant (DESIGN.md §9) as a scan over
+//! a [`FileContext`]. Rules return *raw* findings; suppression filtering
+//! and reporting live in [`crate::engine`].
+//!
+//! | rule | invariant |
+//! |---|---|
+//! | `float-partial-cmp` | float comparisons must be total (`f64::total_cmp`), never `partial_cmp().unwrap()` — a NaN weight must not panic an explanation |
+//! | `hashmap-iter-order` | output-producing crates must not iterate hash-ordered collections — iteration order is seeded per process and would leak into (cached) output |
+//! | `wallclock-in-seeded-path` | seeded pipeline crates must not read wall clocks or thread ids — every stochastic input is an explicit seed |
+//! | `panic-in-request-path` | the serving request path must be total: no `unwrap`/`expect`/indexing panics between `read_request` and the response |
+//! | `pub-item-docs` | public library items carry doc comments |
+
+use crate::context::{FileContext, FileKind};
+use crate::lexer::{Token, TokenKind};
+
+/// A single rule finding before suppression filtering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`float-partial-cmp`, ...).
+    pub rule: &'static str,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// Human-readable description with the expected fix.
+    pub message: String,
+}
+
+/// Names of all real rules, in reporting order. (The engine additionally
+/// emits the two meta rules `suppression-missing-reason` and
+/// `unknown-rule` for malformed suppression comments; those cannot be
+/// suppressed.)
+pub const RULE_NAMES: &[&str] = &[
+    "float-partial-cmp",
+    "hashmap-iter-order",
+    "wallclock-in-seeded-path",
+    "panic-in-request-path",
+    "pub-item-docs",
+];
+
+/// Crates whose output is user-visible or cached, where hash-iteration
+/// order would leak nondeterminism into results (ISSUE 3 / DESIGN.md §9).
+const OUTPUT_CRATES: &[&str] = &["core", "em-lime", "em-eval", "em-serve"];
+
+/// Crates allowed to read wall clocks: benchmarks time by definition, and
+/// `em-serve` timestamps metrics/latency histograms (never seeds).
+const WALLCLOCK_CRATES: &[&str] = &["bench", "em-serve"];
+
+/// Request-path modules of `em-serve` that must never panic on input.
+const REQUEST_PATH_FILES: &[&str] = &[
+    "crates/em-serve/src/http.rs",
+    "crates/em-serve/src/codec.rs",
+    "crates/em-serve/src/json.rs",
+    "crates/em-serve/src/server.rs",
+];
+
+/// Runs every applicable rule over `ctx`.
+pub fn run_all(ctx: &FileContext) -> Vec<Finding> {
+    let mut out = Vec::new();
+    float_partial_cmp(ctx, &mut out);
+    hashmap_iter_order(ctx, &mut out);
+    wallclock_in_seeded_path(ctx, &mut out);
+    panic_in_request_path(ctx, &mut out);
+    pub_item_docs(ctx, &mut out);
+    out.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(b.rule)));
+    out
+}
+
+/// Index just past the `)` matching the `(` at `toks[open]`.
+fn skip_parens(toks: &[Token], open: usize) -> usize {
+    let mut depth = 1usize;
+    let mut i = open + 1;
+    while i < toks.len() && depth > 0 {
+        if toks[i].is_punct('(') {
+            depth += 1;
+        } else if toks[i].is_punct(')') {
+            depth -= 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// `float-partial-cmp`: flags `partial_cmp(..)` immediately chained into
+/// `.unwrap()` / `.expect(..)`. `PartialOrd` on floats is not total, so
+/// the chain panics on the first NaN weight or score; `f64::total_cmp`
+/// gives the same order on real data and a deterministic one on NaN.
+///
+/// Applies everywhere — tests and examples included, since a NaN-induced
+/// panic is just as wrong in a regression test as in the pipeline.
+fn float_partial_cmp(ctx: &FileContext, out: &mut Vec<Finding>) {
+    let toks = ctx.tokens();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("partial_cmp") {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        let after = skip_parens(toks, i + 1);
+        let dot = toks.get(after).is_some_and(|t| t.is_punct('.'));
+        let panicky = toks
+            .get(after + 1)
+            .and_then(|t| t.ident())
+            .is_some_and(|id| id == "unwrap" || id == "expect");
+        if dot && panicky {
+            out.push(Finding {
+                rule: "float-partial-cmp",
+                line: t.line,
+                message: "`partial_cmp(..).unwrap()/expect(..)` panics on NaN; \
+                          use `f64::total_cmp` for a total, deterministic order"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Iterator-producing methods on `HashMap`/`HashSet` whose order is
+/// seeded per process.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+];
+
+/// `hashmap-iter-order`: in output-producing crates, flags iteration over
+/// locals bound to `HashMap`/`HashSet`. `RandomState` seeds the order per
+/// process, so anything downstream of the iteration — sorted-by-equal-key
+/// lists, float accumulations, serialized maps — can differ between two
+/// runs with identical seeds. Use `BTreeMap`/`BTreeSet` or sort first.
+fn hashmap_iter_order(ctx: &FileContext, out: &mut Vec<Finding>) {
+    if !OUTPUT_CRATES.contains(&ctx.crate_name.as_str())
+        || !matches!(ctx.kind, FileKind::LibrarySrc | FileKind::Binary)
+    {
+        return;
+    }
+    let toks = ctx.tokens();
+    let flag = |out: &mut Vec<Finding>, line: usize, what: &str| {
+        out.push(Finding {
+            rule: "hashmap-iter-order",
+            line,
+            message: format!(
+                "{what} iterates a hash-ordered collection in an output-producing \
+                 crate; order is seeded per process — use BTreeMap/BTreeSet or \
+                 collect and sort deterministically"
+            ),
+        });
+    };
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.is_test_line(t.line) {
+            continue;
+        }
+        // `name.iter()` and friends on a tracked hash local.
+        if let Some(name) = t.ident() {
+            if ctx.hash_locals.contains(name)
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
+                && toks
+                    .get(i + 2)
+                    .and_then(|t| t.ident())
+                    .is_some_and(|m| HASH_ITER_METHODS.contains(&m))
+                && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+            {
+                flag(
+                    out,
+                    t.line,
+                    &format!("`{name}.{}()`", toks[i + 2].ident().unwrap_or("")),
+                );
+            }
+        }
+        // `for x in [&[mut]] name { .. }` over a tracked hash local.
+        if t.is_ident("for") {
+            // Find the `in` at nesting depth 0 before the loop body.
+            let mut j = i + 1;
+            let mut depth = 0isize;
+            while j < toks.len() {
+                let u = &toks[j];
+                if u.is_punct('(') || u.is_punct('[') {
+                    depth += 1;
+                } else if u.is_punct(')') || u.is_punct(']') {
+                    depth -= 1;
+                } else if depth == 0 && u.is_ident("in") {
+                    break;
+                } else if depth == 0 && u.is_punct('{') {
+                    j = toks.len();
+                }
+                j += 1;
+            }
+            let mut k = j + 1;
+            while toks
+                .get(k)
+                .is_some_and(|t| t.is_punct('&') || t.is_ident("mut"))
+            {
+                k += 1;
+            }
+            if let Some(name) = toks.get(k).and_then(|t| t.ident()) {
+                if ctx.hash_locals.contains(name)
+                    && toks.get(k + 1).is_some_and(|t| t.is_punct('{'))
+                {
+                    flag(out, t.line, &format!("`for .. in {name}`"));
+                }
+            }
+        }
+    }
+}
+
+/// `wallclock-in-seeded-path`: flags `SystemTime::now()`, `Instant::now()`
+/// and `thread::current().id()` outside the crates allowed to observe
+/// time. The pipeline's determinism contract (DESIGN.md §7) requires every
+/// stochastic input to be an explicit seed; a wall-clock read is an
+/// ambient seed that silently breaks serial==parallel bit-equality.
+fn wallclock_in_seeded_path(ctx: &FileContext, out: &mut Vec<Finding>) {
+    if WALLCLOCK_CRATES.contains(&ctx.crate_name.as_str())
+        || matches!(ctx.kind, FileKind::Bench | FileKind::Vendor)
+    {
+        return;
+    }
+    let toks = ctx.tokens();
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.is_test_line(t.line) {
+            continue;
+        }
+        let qualified_now = (t.is_ident("SystemTime") || t.is_ident("Instant"))
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("now"));
+        if qualified_now {
+            out.push(Finding {
+                rule: "wallclock-in-seeded-path",
+                line: t.line,
+                message: format!(
+                    "`{}::now()` in a seeded pipeline crate; clocks are ambient \
+                     nondeterminism — thread timing through explicit seeds/config \
+                     (only `bench` and `em-serve` metrics may read time)",
+                    t.ident().unwrap_or("")
+                ),
+            });
+        }
+        let thread_id = t.is_ident("thread")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("current"));
+        if thread_id {
+            out.push(Finding {
+                rule: "wallclock-in-seeded-path",
+                line: t.line,
+                message: "`thread::current()` in a seeded pipeline crate; thread \
+                          identity is scheduler-dependent and must not feed seeds \
+                          or scores"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// `panic-in-request-path`: in `em-serve`'s request-handling modules,
+/// flags `.unwrap()`, `.expect(..)`, `panic!`/`unreachable!`/`todo!`, and
+/// slice/array indexing (`x[i]`). A malformed or adversarial request must
+/// produce a 4xx/5xx response, never tear down a worker.
+fn panic_in_request_path(ctx: &FileContext, out: &mut Vec<Finding>) {
+    if !REQUEST_PATH_FILES.contains(&ctx.path.as_str()) {
+        return;
+    }
+    let toks = ctx.tokens();
+    let flag = |out: &mut Vec<Finding>, line: usize, msg: String| {
+        out.push(Finding {
+            rule: "panic-in-request-path",
+            line,
+            message: msg,
+        });
+    };
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.is_test_line(t.line) {
+            continue;
+        }
+        if let Some(id) = t.ident() {
+            let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+            match id {
+                "unwrap" | "expect" if prev_dot => {
+                    // `self.expect(b'x')` is the parser's own fallible
+                    // method, not `Option::expect`; skip that one receiver.
+                    let receiver_is_self = i >= 2 && toks[i - 2].is_ident("self") && id == "expect";
+                    if !receiver_is_self {
+                        flag(
+                            out,
+                            t.line,
+                            format!(
+                                "`.{id}(..)` in the request path can panic on \
+                                 malformed input; return an error response instead"
+                            ),
+                        );
+                    }
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented"
+                    if toks.get(i + 1).is_some_and(|t| t.is_punct('!')) =>
+                {
+                    flag(
+                        out,
+                        t.line,
+                        format!(
+                            "`{id}!` in the request path; handle the case and \
+                                 return an error response instead"
+                        ),
+                    );
+                }
+                _ => {}
+            }
+        }
+        // Indexing: `[` whose previous token ends an expression (ident,
+        // `)`, `]`) — but not macro invocations (`vec![`), attributes
+        // (`#[`), or type syntax.
+        if t.is_punct('[') && i > 0 {
+            let prev = &toks[i - 1];
+            let prev_ends_expr = matches!(
+                &prev.kind,
+                TokenKind::Ident(_) | TokenKind::Punct(')') | TokenKind::Punct(']')
+            );
+            let is_macro = i >= 2 && toks[i - 2].is_punct('!');
+            // `let x = [..]` array literals follow `=`/`(`/`,`, which
+            // `prev_ends_expr` already excludes.
+            let is_keyword = prev
+                .ident()
+                .is_some_and(|id| matches!(id, "in" | "return" | "else" | "match" | "mut"));
+            if prev_ends_expr && !is_macro && !is_keyword {
+                flag(
+                    out,
+                    t.line,
+                    "slice/array indexing in the request path panics when out of \
+                     bounds; use `.get(..)` or prove the bound with a suppression"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// Item keywords that `pub` can introduce (after optional `unsafe` /
+/// `async` / `extern "C"` qualifiers).
+const PUB_ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "type", "const", "static", "union", "mod",
+];
+
+/// `pub-item-docs`: public items in library source need a doc comment
+/// (`///` or `/** */`) immediately above (attributes may intervene).
+/// Re-exports (`pub use`) and restricted visibility (`pub(crate)`, ...)
+/// are exempt, as are vendored stand-ins (their API mirrors the upstream
+/// crate, which carries the documentation).
+fn pub_item_docs(ctx: &FileContext, out: &mut Vec<Finding>) {
+    if !matches!(ctx.kind, FileKind::LibrarySrc) {
+        return;
+    }
+    let toks = ctx.tokens();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("pub") || ctx.is_test_line(t.line) {
+            continue;
+        }
+        // `pub(crate)` / `pub(super)` / `pub(in ..)` — not public API.
+        if toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        // Skip qualifiers to the item keyword.
+        let mut j = i + 1;
+        while toks.get(j).is_some_and(|t| {
+            t.ident()
+                .is_some_and(|id| matches!(id, "unsafe" | "async" | "extern"))
+                || t.kind == TokenKind::Literal // the "C" in `extern "C"`
+        }) {
+            j += 1;
+        }
+        let Some(kw) = toks.get(j).and_then(|t| t.ident()) else {
+            continue;
+        };
+        if !PUB_ITEM_KEYWORDS.contains(&kw) {
+            continue;
+        }
+        // `pub mod name;` declarations are exempt: the module *file*
+        // carries the documentation as `//!` inner docs (the workspace
+        // idiom), which rustdoc attaches to the module.
+        if kw == "mod" && toks.get(j + 2).is_some_and(|t| t.is_punct(';')) {
+            continue;
+        }
+        let name = toks
+            .get(j + 1)
+            .and_then(|t| t.ident())
+            .unwrap_or("<unnamed>");
+        if !has_doc_above(ctx, t.line) {
+            out.push(Finding {
+                rule: "pub-item-docs",
+                line: t.line,
+                message: format!("public {kw} `{name}` has no doc comment"),
+            });
+        }
+    }
+}
+
+/// Whether a doc comment sits directly above `line`, allowing attribute
+/// lines (`#[derive(..)]`, possibly multi-line) in between.
+fn has_doc_above(ctx: &FileContext, line: usize) -> bool {
+    // Attribute lines: lines whose first token is `#`. Precompute lazily
+    // by scanning tokens of each candidate line via the token stream.
+    let mut attr_lines = vec![false; ctx.lexed.n_lines];
+    {
+        let toks = ctx.tokens();
+        let mut i = 0;
+        while i < toks.len() {
+            if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+                let start = toks[i].line;
+                // Find matching `]`.
+                let mut depth = 0usize;
+                let mut j = i + 1;
+                while j < toks.len() {
+                    if toks[j].is_punct('[') {
+                        depth += 1;
+                    } else if toks[j].is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                let end = toks.get(j).map_or(start, |t| t.line);
+                for l in start..=end {
+                    if let Some(s) = attr_lines.get_mut(l - 1) {
+                        *s = true;
+                    }
+                }
+                i = j;
+            }
+            i += 1;
+        }
+    }
+    let mut l = line.saturating_sub(1);
+    while l >= 1 {
+        let idx = l - 1;
+        if attr_lines.get(idx).copied().unwrap_or(false) {
+            l -= 1;
+            continue;
+        }
+        return ctx.lexed.doc_lines.get(idx).copied().unwrap_or(false);
+    }
+    false
+}

@@ -1,0 +1,23 @@
+// Fixture: total or non-panicking float comparisons that must NOT be
+// flagged, including the places a grep-based check would misfire.
+
+fn total(mut v: Vec<f64>) -> Vec<f64> {
+    v.sort_by(|a, b| a.total_cmp(b));
+    v
+}
+
+fn option_flow(a: f64, b: f64) -> std::cmp::Ordering {
+    // `partial_cmp` without a panicking adapter is fine.
+    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)
+}
+
+fn in_comment_and_string() -> &'static str {
+    // A comment mentioning partial_cmp(...).unwrap() is not code.
+    "partial_cmp(x).unwrap() inside a string literal"
+}
+
+fn unwrap_elsewhere(v: Vec<f64>) -> f64 {
+    // `.unwrap()` on something other than partial_cmp is out of scope
+    // for this rule (clippy::unwrap_used draws that line).
+    v.first().copied().unwrap()
+}

@@ -1,0 +1,30 @@
+// Fixture: every way the workspace has historically written a panicking
+// float comparison. Tilde markers name the rule each line must trip.
+
+fn sort_unwrap(mut v: Vec<f64>) -> Vec<f64> {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); //~ float-partial-cmp
+    v
+}
+
+fn sort_expect(scores: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&i, &j| scores[j].partial_cmp(&scores[i]).expect("finite scores")); //~ float-partial-cmp
+    idx
+}
+
+fn multi_line_chain(slots: &[(f64, usize)], a: usize, b: usize) -> std::cmp::Ordering {
+    slots[b]
+        .0
+        .partial_cmp(&slots[a].0) //~ float-partial-cmp
+        .expect("finite weights")
+}
+
+#[test]
+fn also_flagged_in_tests() {
+    let xs = [0.3f64, 0.1];
+    let m = xs
+        .iter()
+        .max_by(|a, b| a.partial_cmp(b).unwrap()) //~ float-partial-cmp
+        .copied();
+    assert_eq!(m, Some(0.3));
+}

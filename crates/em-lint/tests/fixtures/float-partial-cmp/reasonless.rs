@@ -1,0 +1,15 @@
+// Fixture: a suppression WITHOUT a reason is itself a violation and does
+// not silence the underlying finding. (Caret markers bind to the
+// previous line.)
+
+fn reasonless(mut v: Vec<f64>) -> Vec<f64> {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // em-lint: allow(float-partial-cmp)
+    //~^ float-partial-cmp suppression-missing-reason
+    v
+}
+
+fn unknown_rule(mut v: Vec<f64>) -> Vec<f64> {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // em-lint: allow(no-such-rule) -- justified wrong
+    //~^ float-partial-cmp unknown-rule
+    v
+}

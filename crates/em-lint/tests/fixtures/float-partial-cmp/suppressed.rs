@@ -1,0 +1,13 @@
+// Fixture: a justified suppression silences the finding — both trailing
+// and standalone forms.
+
+fn trailing(mut v: Vec<f64>) -> Vec<f64> {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // em-lint: allow(float-partial-cmp) -- fixture: inputs validated finite upstream
+    v
+}
+
+fn standalone(mut v: Vec<f64>) -> Vec<f64> {
+    // em-lint: allow(float-partial-cmp) -- fixture: demonstrating standalone coverage
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v
+}

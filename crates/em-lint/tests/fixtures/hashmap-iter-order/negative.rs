@@ -1,0 +1,39 @@
+// Fixture (linted as crates/core/src/fixture.rs): hash collections used
+// in order-insensitive ways, and ordered alternatives — none flagged.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Fixture function.
+pub fn btree_iteration_is_ordered(weights: &[(String, f64)]) -> Vec<(String, f64)> {
+    let mut sums: BTreeMap<String, f64> = BTreeMap::new();
+    for (k, w) in weights {
+        *sums.entry(k.clone()).or_insert(0.0) += w;
+    }
+    sums.into_iter().collect()
+}
+
+/// Fixture function.
+pub fn membership_checks_are_order_free(items: &[u32]) -> bool {
+    let seen: HashSet<u32> = items.iter().copied().collect();
+    seen.contains(&7) && !seen.is_empty() && seen.len() > 1
+}
+
+/// Fixture function.
+pub fn order_free_reduction(items: &[u32]) -> usize {
+    // Building the set and asking for its size never observes order.
+    let distinct: HashSet<u32> = items.iter().copied().collect();
+    distinct.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_iterate_hash_maps() {
+        let mut m: HashMap<u32, u32> = HashMap::new();
+        m.insert(1, 2);
+        let vs: Vec<u32> = m.values().copied().collect();
+        assert_eq!(vs, vec![2]);
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture (linted as crates/em-text/src/fixture.rs): `em-text` computes
+// order-free similarity scores and is not an output-producing crate, so
+// the iteration-order rule does not apply here at all.
+
+use std::collections::HashMap;
+
+/// Fixture function.
+pub fn qgram_profile(s: &str) -> usize {
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for i in 0..s.len().saturating_sub(1) {
+        *counts.entry(&s[i..i + 2]).or_insert(0) += 1;
+    }
+    counts.values().sum()
+}

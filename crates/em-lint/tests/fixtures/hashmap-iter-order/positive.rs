@@ -1,0 +1,41 @@
+// Fixture (linted as crates/core/src/fixture.rs): iterating hash-ordered
+// collections in an output-producing crate.
+
+use std::collections::{HashMap, HashSet};
+
+/// Fixture function.
+pub fn aggregate(weights: &[(String, f64)]) -> Vec<(String, f64)> {
+    let mut sums: HashMap<String, f64> = HashMap::new();
+    for (k, w) in weights {
+        *sums.entry(k.clone()).or_insert(0.0) += w;
+    }
+    sums.into_iter().collect() //~ hashmap-iter-order
+}
+
+/// Fixture function.
+pub fn keys_only(index: HashMap<String, usize>) -> Vec<String> {
+    let tracked: HashMap<String, usize> = index;
+    tracked.keys().cloned().collect() //~ hashmap-iter-order
+}
+
+/// Fixture function.
+pub fn for_loop_over_set(items: &[u32]) -> u32 {
+    let seen: HashSet<u32> = items.iter().copied().collect();
+    let mut acc = 0;
+    for v in &seen {
+        //~^ hashmap-iter-order
+        acc ^= v;
+    }
+    acc
+}
+
+/// Fixture function.
+pub fn values_sum(by_token: HashMap<u64, Vec<f64>>) -> f64 {
+    let by_token: HashMap<u64, Vec<f64>> = by_token;
+    let mut total = 0.0;
+    for ws in by_token.values() {
+        //~^ hashmap-iter-order
+        total += ws.iter().sum::<f64>();
+    }
+    total
+}

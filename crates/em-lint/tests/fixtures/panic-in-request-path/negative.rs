@@ -1,0 +1,40 @@
+// Fixture (linted as crates/em-serve/src/http.rs): total request handling
+// — errors flow to a response, lookups use `.get`, tests may panic.
+
+/// Fixture function.
+pub fn parse_header(raw: &str) -> Result<(String, String), String> {
+    let idx = raw.find(':').ok_or("header line without a colon")?;
+    let (name, value) = raw.split_at(idx);
+    Ok((name.to_string(), value.to_string()))
+}
+
+/// Fixture function.
+pub fn first_line(buf: &[u8]) -> Option<u8> {
+    buf.first().copied()
+}
+
+/// Fixture function.
+pub fn lookup(headers: &[(String, String)], n: usize) -> Option<&(String, String)> {
+    headers.get(n)
+}
+
+/// Fixture function.
+pub fn array_literal_is_not_indexing() -> [u8; 2] {
+    let pair = [13u8, 10u8];
+    let attrs = vec![1, 2, 3];
+    let _ = attrs;
+    pair
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_unwrap_and_index() {
+        let (n, v) = parse_header("a: b").unwrap();
+        let bytes = n.as_bytes();
+        assert_eq!(bytes[0], b'a');
+        assert_eq!(v.len(), 3);
+    }
+}

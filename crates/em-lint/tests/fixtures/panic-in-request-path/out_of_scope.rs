@@ -1,0 +1,16 @@
+// Fixture (linted as crates/em-serve/src/metrics.rs): metrics is not a
+// request-path module, so the rule does not apply (clippy::unwrap_used
+// still covers it at the crate level).
+
+/// Fixture function.
+pub fn bucket(upper_bounds: &[f64], v: f64) -> usize {
+    upper_bounds
+        .iter()
+        .position(|&b| v <= b)
+        .unwrap_or(upper_bounds.len())
+}
+
+/// Fixture function.
+pub fn locked_counter(counter: &std::sync::Mutex<u64>) -> u64 {
+    *counter.lock().expect("metrics mutex poisoned")
+}

@@ -1,0 +1,39 @@
+// Fixture (linted as crates/em-serve/src/http.rs): every panic class the
+// request path must not contain.
+
+/// Fixture function.
+pub fn parse_header(raw: &str) -> (String, String) {
+    let idx = raw.find(':').unwrap(); //~ panic-in-request-path
+    let (name, value) = raw.split_at(idx);
+    (name.to_string(), value.to_string())
+}
+
+/// Fixture function.
+pub fn content_length(headers: &[(String, String)]) -> usize {
+    headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .expect("content-length header") //~ panic-in-request-path
+        .1
+        .parse()
+        .expect("numeric length") //~ panic-in-request-path
+}
+
+/// Fixture function.
+pub fn first_line(buf: &[u8]) -> u8 {
+    buf[0] //~ panic-in-request-path
+}
+
+/// Fixture function.
+pub fn sliced(buf: &[u8], end: usize) -> &[u8] {
+    &buf[..end] //~ panic-in-request-path
+}
+
+/// Fixture function.
+pub fn dispatch(method: &str) -> u16 {
+    match method {
+        "GET" => 200,
+        "POST" => 200,
+        _ => unreachable!("router only forwards GET/POST"), //~ panic-in-request-path
+    }
+}

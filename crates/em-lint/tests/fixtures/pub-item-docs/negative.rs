@@ -1,0 +1,57 @@
+//! Fixture (linted as crates/core/src/fixture.rs): every way an item can
+//! be legitimately documented or exempt.
+
+/// A documented function.
+pub fn documented() {}
+
+/// A documented struct; the derive between doc and item is fine.
+#[derive(Debug, Clone)]
+pub struct WithDerive {
+    value: f64,
+}
+
+/** Block doc comments count too. */
+pub fn block_documented() -> f64 {
+    1.0
+}
+
+#[derive(Debug)]
+/// Doc below the attribute also attaches.
+pub struct DocAfterAttr;
+
+// Restricted visibility is not public API.
+pub(crate) fn crate_visible() {}
+
+/// Documented trait with undocumented required methods (method-level
+/// docs are the trait author's call; the rule checks `pub` items only).
+pub trait Distance {
+    fn eval(&self, a: &str, b: &str) -> f64;
+}
+
+impl WithDerive {
+    /// Documented method.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    fn private_method(&self) -> f64 {
+        self.value
+    }
+}
+
+/// Re-exports inherit their target's docs.
+pub mod reexports {
+    pub use std::cmp::Ordering;
+}
+
+#[cfg(test)]
+mod tests {
+    // Items under cfg(test) are never public API.
+    pub fn test_helper() {}
+
+    #[test]
+    fn uses_helper() {
+        test_helper();
+        super::documented();
+    }
+}

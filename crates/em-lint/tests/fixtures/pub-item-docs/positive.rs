@@ -1,0 +1,31 @@
+// Fixture (linted as crates/core/src/fixture.rs): public items without
+// attached documentation.
+
+pub fn undocumented_fn() {} //~ pub-item-docs
+
+pub struct Undocumented { //~ pub-item-docs
+    /// Fields are out of scope; the item itself is what's checked.
+    pub field: usize,
+}
+
+/// This doc comment does not attach: a blank line separates it from the
+/// item, so rustdoc drops it.
+
+pub enum Orphaned { //~ pub-item-docs
+    /// Variant docs don't rescue the enum.
+    A,
+}
+
+pub mod inline_module { //~ pub-item-docs
+    // Inline `pub mod { .. }` has no file to carry `//!` docs, so it
+    // needs a `///` like any other item.
+}
+
+/// Documented wrapper.
+pub struct Wrapper(pub usize);
+
+impl Wrapper {
+    pub fn undocumented_method(&self) -> usize { //~ pub-item-docs
+        self.0
+    }
+}

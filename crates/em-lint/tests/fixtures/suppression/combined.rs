@@ -1,0 +1,18 @@
+// Fixture (linted as crates/em-serve/src/json.rs): suppressions are
+// rule-specific — allowing one rule on a line does not silence another.
+
+/// Fixture function: the line below violates BOTH float-partial-cmp and
+/// panic-in-request-path; only the former is suppressed.
+pub fn partially_suppressed(mut v: Vec<f64>) -> Vec<f64> {
+    // em-lint: allow(float-partial-cmp) -- fixture: only the float rule is being waived here
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    //~^ panic-in-request-path
+    v
+}
+
+/// Fixture function: one comment may waive several rules at once.
+pub fn multi_rule_allow(mut v: Vec<f64>) -> Vec<f64> {
+    // em-lint: allow(float-partial-cmp, panic-in-request-path) -- fixture: both rules waived with one justification
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v
+}

@@ -1,0 +1,11 @@
+// Fixture (linted as crates/bench/src/fixture.rs): benchmarks time by
+// definition — the rule is scoped away from `bench` and `em-serve`.
+
+use std::time::Instant;
+
+/// Fixture function.
+pub fn measure<F: FnOnce()>(f: F) -> std::time::Duration {
+    let start = Instant::now();
+    f();
+    start.elapsed()
+}

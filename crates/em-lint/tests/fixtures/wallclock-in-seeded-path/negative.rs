@@ -1,0 +1,20 @@
+// Fixture (linted as crates/core/src/fixture.rs): explicit seeds and
+// test-only timing are fine.
+
+/// Fixture function.
+pub fn derived_seed(base: u64, index: usize) -> u64 {
+    base.wrapping_add(index as u64).wrapping_mul(0x9E37_79B9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_time_things() {
+        let start = Instant::now();
+        assert_eq!(derived_seed(1, 0), 0x9E37_79B9 + 0x9E37_79B9 * 0);
+        assert!(start.elapsed().as_secs() < 60);
+    }
+}

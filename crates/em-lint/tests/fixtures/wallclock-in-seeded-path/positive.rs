@@ -1,0 +1,26 @@
+// Fixture (linted as crates/core/src/fixture.rs): ambient time and thread
+// identity reads inside a seeded pipeline crate.
+
+use std::time::{Instant, SystemTime};
+
+/// Fixture function.
+pub fn timed_seed() -> u64 {
+    let t = SystemTime::now() //~ wallclock-in-seeded-path
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    t ^ 0x9E37_79B9
+}
+
+/// Fixture function.
+pub fn latency_in_score(x: f64) -> f64 {
+    let start = Instant::now(); //~ wallclock-in-seeded-path
+    let y = x * 2.0;
+    y + start.elapsed().as_secs_f64()
+}
+
+/// Fixture function.
+pub fn thread_dependent_jitter() -> u64 {
+    let id = std::thread::current().id(); //~ wallclock-in-seeded-path
+    format!("{id:?}").len() as u64
+}

@@ -1,0 +1,218 @@
+//! Golden fixture suite for the lint engine.
+//!
+//! Each fixture under `tests/fixtures/<rule>/` is linted under a
+//! *virtual* workspace path (so crate-scoped rules engage) and its
+//! expected findings are written inline as markers, rustc-UI style:
+//!
+//! * `//~ <rule> [<rule>..]` — violation(s) expected on this line;
+//! * `//~^ <rule> [<rule>..]` — violation(s) expected on the previous line.
+//!
+//! The suite also pins the two workspace-level guarantees the CI gate
+//! relies on: the shipped tree is clean, and re-introducing any of the
+//! four historical `partial_cmp().expect()` NaN panics is caught at its
+//! exact file:line span.
+
+use em_lint::{find_workspace_root, lint_source, lint_workspace};
+use std::path::Path;
+
+/// (fixture file, virtual workspace path it is linted under).
+const FIXTURES: &[(&str, &str)] = &[
+    (
+        "float-partial-cmp/positive.rs",
+        "crates/em-eval/src/fixture.rs",
+    ),
+    (
+        "float-partial-cmp/negative.rs",
+        "crates/em-eval/src/fixture.rs",
+    ),
+    (
+        "float-partial-cmp/suppressed.rs",
+        "crates/em-eval/src/fixture.rs",
+    ),
+    (
+        "float-partial-cmp/reasonless.rs",
+        "crates/em-eval/src/fixture.rs",
+    ),
+    (
+        "hashmap-iter-order/positive.rs",
+        "crates/core/src/fixture.rs",
+    ),
+    (
+        "hashmap-iter-order/negative.rs",
+        "crates/core/src/fixture.rs",
+    ),
+    (
+        "hashmap-iter-order/out_of_scope.rs",
+        "crates/em-text/src/fixture.rs",
+    ),
+    (
+        "wallclock-in-seeded-path/positive.rs",
+        "crates/core/src/fixture.rs",
+    ),
+    (
+        "wallclock-in-seeded-path/negative.rs",
+        "crates/core/src/fixture.rs",
+    ),
+    (
+        "wallclock-in-seeded-path/allowed_crate.rs",
+        "crates/bench/src/fixture.rs",
+    ),
+    (
+        "panic-in-request-path/positive.rs",
+        "crates/em-serve/src/http.rs",
+    ),
+    (
+        "panic-in-request-path/negative.rs",
+        "crates/em-serve/src/http.rs",
+    ),
+    (
+        "panic-in-request-path/suppressed.rs",
+        "crates/em-serve/src/json.rs",
+    ),
+    (
+        "panic-in-request-path/out_of_scope.rs",
+        "crates/em-serve/src/metrics.rs",
+    ),
+    ("pub-item-docs/positive.rs", "crates/core/src/fixture.rs"),
+    ("pub-item-docs/negative.rs", "crates/core/src/fixture.rs"),
+    ("suppression/combined.rs", "crates/em-serve/src/json.rs"),
+];
+
+/// Parses `//~` / `//~^` markers into sorted `(line, rule)` expectations.
+fn expected_findings(source: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (i, line) in source.lines().enumerate() {
+        let lineno = i + 1;
+        let Some(idx) = line.find("//~") else {
+            continue;
+        };
+        let rest = &line[idx + 3..];
+        let (target, rules) = match rest.strip_prefix('^') {
+            Some(r) => (lineno - 1, r),
+            None => (lineno, rest),
+        };
+        for rule in rules.split_whitespace() {
+            out.push((target, rule.to_string()));
+        }
+    }
+    out.sort();
+    out
+}
+
+fn fixture_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+#[test]
+fn fixtures_match_their_markers() {
+    for (fixture, virtual_path) in FIXTURES {
+        let path = fixture_dir().join(fixture);
+        let source = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("reading fixture {fixture}: {e}"));
+        let expected = expected_findings(&source);
+        let (violations, _) = lint_source(virtual_path, &source);
+        let mut actual: Vec<(usize, String)> = violations
+            .iter()
+            .map(|v| (v.line, v.rule.clone()))
+            .collect();
+        actual.sort();
+        assert_eq!(
+            actual, expected,
+            "fixture {fixture} (as {virtual_path}): actual findings (left) \
+             diverge from //~ markers (right)"
+        );
+    }
+}
+
+#[test]
+fn suppressed_fixtures_record_suppressions() {
+    for fixture in [
+        "float-partial-cmp/suppressed.rs",
+        "panic-in-request-path/suppressed.rs",
+    ] {
+        let (dir_rule, _) = fixture.split_once('/').expect("dir/file fixture id");
+        let virtual_path = FIXTURES
+            .iter()
+            .find(|(f, _)| f == &fixture)
+            .map(|(_, p)| *p)
+            .expect("fixture registered");
+        let source = std::fs::read_to_string(fixture_dir().join(fixture)).expect("fixture");
+        let (violations, suppressed) = lint_source(virtual_path, &source);
+        assert_eq!(violations, vec![], "{fixture} should be fully suppressed");
+        assert!(
+            suppressed > 0,
+            "{fixture} should suppress at least one {dir_rule} finding"
+        );
+    }
+}
+
+/// The four NaN-panic sites fixed in this PR, with the exact offending
+/// line restored at its original line number. Re-introducing any one of
+/// them must fail the lint with the correct file:line span — the
+/// acceptance criterion for the CI gate.
+const REINTRODUCTIONS: &[(&str, usize, &str)] = &[
+    (
+        "crates/em-eval/src/kendall.rs",
+        17,
+        "    idx.sort_by(|&i, &j| scores[j].partial_cmp(&scores[i]).expect(\"finite scores\"));",
+    ),
+    (
+        "crates/em-eval/src/stability.rs",
+        78,
+        "            sorted.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect(\"finite\"));",
+    ),
+    (
+        "crates/core/src/summary.rs",
+        81,
+        "            .partial_cmp(&a.mean_weight)\n            .expect(\"finite weights\")",
+    ),
+    (
+        "crates/core/src/counterfactual.rs",
+        111,
+        "            .partial_cmp(&slots[a].weight.abs())\n            .expect(\"finite weights\")",
+    ),
+];
+
+#[test]
+fn reintroducing_any_fixed_nan_panic_site_is_caught_at_its_span() {
+    for (file, line, snippet) in REINTRODUCTIONS {
+        // Pad the snippet down to its historical line number so the span
+        // assertion is exact.
+        let mut source = String::new();
+        for _ in 1..*line {
+            source.push_str("// padding\n");
+        }
+        source.push_str(snippet);
+        source.push('\n');
+        let (violations, _) = lint_source(file, &source);
+        let hit = violations
+            .iter()
+            .find(|v| v.rule == "float-partial-cmp")
+            .unwrap_or_else(|| panic!("{file}:{line} reintroduction not caught: {violations:?}"));
+        assert_eq!(hit.file, *file);
+        assert_eq!(
+            hit.line, *line,
+            "{file}: span should point at the partial_cmp line"
+        );
+    }
+}
+
+/// The shipped workspace must be clean — the same invariant CI enforces
+/// with `cargo run -p em-lint -- check`.
+#[test]
+fn shipped_workspace_is_clean() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above em-lint");
+    let report = lint_workspace(&root).expect("lint workspace");
+    assert!(
+        report.is_clean(),
+        "workspace has unsuppressed violations:\n{}",
+        em_lint::report::render_human(&report)
+    );
+    // Sanity: the walk actually covered the tree (≥ 100 source files).
+    assert!(
+        report.files_checked >= 100,
+        "suspiciously few files checked: {}",
+        report.files_checked
+    );
+}

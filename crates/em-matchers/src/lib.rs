@@ -13,6 +13,9 @@
 //!   [`RuleMatcher`];
 //! * [`evaluation`] — precision / recall / F1 and threshold tuning.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod baselines;
 pub mod evaluation;
 pub mod features;

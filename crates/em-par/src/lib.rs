@@ -23,6 +23,9 @@
 //! per-item RNG seeds from the index — parallel and serial runs are
 //! bit-identical.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 use std::num::NonZeroUsize;
 
 /// How a parallel region may use threads.

@@ -51,6 +51,18 @@ pub struct ShardedCache {
     stats: CacheStats,
 }
 
+impl std::fmt::Debug for ShardedCache {
+    // Manual impl: printing the shards would lock every mutex (and Entry
+    // bodies are whole JSON responses); shape + counters is enough.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCache")
+            .field("shards", &self.shards.len())
+            .field("capacity_per_shard", &self.capacity_per_shard)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
 impl ShardedCache {
     /// A cache holding at most `capacity` entries across `shards` shards
     /// (both clamped to at least 1; per-shard capacity rounds up).

@@ -165,10 +165,10 @@ pub fn decode_explain_request(
     };
     let mut options = *defaults;
     if let Some(config) = root.get("config") {
-        if config.as_object().is_none() {
+        let Some(entries) = config.as_object() else {
             return Err("\"config\" must be an object".into());
-        }
-        for (key, value) in config.as_object().unwrap() {
+        };
+        for (key, value) in entries {
             match key.as_str() {
                 "n_samples" => {
                     let n = value
@@ -357,7 +357,14 @@ fn encode_view(
                 ("occurrence", tw.token.occurrence.into()),
                 ("text", Value::string(tw.token.text.as_str())),
                 ("weight", tw.weight.into()),
-                ("injected", injected.is_some_and(|inj| inj[i]).into()),
+                (
+                    "injected",
+                    injected
+                        .and_then(|inj| inj.get(i))
+                        .copied()
+                        .unwrap_or(false)
+                        .into(),
+                ),
             ])
         })
         .collect();

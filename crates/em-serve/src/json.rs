@@ -83,6 +83,7 @@ impl Value {
             Value::Number(n) => {
                 // JSON has no NaN/Infinity literal; degrade to null.
                 if n.is_finite() {
+                    // em-lint: allow(panic-in-request-path) -- fmt::Write to a String is infallible
                     write!(out, "{n}").expect("write to String");
                 } else {
                     out.push_str("null");
@@ -186,6 +187,7 @@ fn write_json_string(s: &str, out: &mut String) {
             '\u{08}' => out.push_str("\\b"),
             '\u{0C}' => out.push_str("\\f"),
             c if (c as u32) < 0x20 => {
+                // em-lint: allow(panic-in-request-path) -- fmt::Write to a String is infallible
                 write!(out, "\\u{:04x}", c as u32).expect("write to String");
             }
             c => out.push(c),
@@ -245,6 +247,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_literal(&mut self, text: &str, value: Value) -> Result<Value, JsonError> {
+        // em-lint: allow(panic-in-request-path) -- pos <= bytes.len() is a parser invariant
         if self.bytes[self.pos..].starts_with(text.as_bytes()) {
             self.pos += text.len();
             Ok(value)
@@ -262,6 +265,7 @@ impl<'a> Parser<'a> {
         {
             self.pos += 1;
         }
+        // em-lint: allow(panic-in-request-path) -- slice holds only ASCII digits/sign/exponent bytes
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
         match text.parse::<f64>() {
             Ok(n) if n.is_finite() => Ok(Value::Number(n)),
@@ -337,6 +341,7 @@ impl<'a> Parser<'a> {
         if end > self.bytes.len() {
             return Err(self.error("truncated \\u escape"));
         }
+        // em-lint: allow(panic-in-request-path) -- end <= bytes.len() checked two lines above
         let hex = std::str::from_utf8(&self.bytes[self.pos..end])
             .map_err(|_| self.error("non-ascii in \\u escape"))?;
         let unit = u32::from_str_radix(hex, 16).map_err(|_| self.error("bad \\u escape"))?;

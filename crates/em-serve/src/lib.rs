@@ -19,6 +19,10 @@
 //! [`json`] module is a self-contained parser/writer, so the crate adds no
 //! dependencies beyond the workspace.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![deny(clippy::unwrap_used)]
+
 pub mod cache;
 pub mod client;
 pub mod codec;

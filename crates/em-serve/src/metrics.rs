@@ -69,7 +69,7 @@ impl Endpoint {
     }
 }
 
-#[derive(Default)]
+#[derive(Debug, Default)]
 struct EndpointSeries {
     requests: AtomicU64,
     errors: AtomicU64,
@@ -78,7 +78,7 @@ struct EndpointSeries {
 }
 
 /// The registry: one series per endpoint.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct Metrics {
     series: [EndpointSeries; 6],
 }

@@ -22,6 +22,16 @@ pub struct BoundedQueue<T> {
     capacity: usize,
 }
 
+impl<T> std::fmt::Debug for BoundedQueue<T> {
+    // Manual impl: printing the queued items would both lock the mutex and
+    // demand `T: Debug`; the capacity is the only stable fact.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedQueue")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Why a [`BoundedQueue::push`] was refused.
 #[derive(Debug, PartialEq, Eq)]
 pub enum PushError<T> {

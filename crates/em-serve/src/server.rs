@@ -77,6 +77,18 @@ pub struct Server {
     state: AppState,
 }
 
+impl std::fmt::Debug for Server {
+    // Manual impl: `AppState` holds a `Box<dyn MatchModel>`, which cannot
+    // be printed; the bind address and sizing are what a log line needs.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.state.addr)
+            .field("workers", &self.workers)
+            .field("queue_depth", &self.queue_depth)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Server {
     /// Binds the listener and assembles the server state. Bind to port 0
     /// for an ephemeral port (tests).
@@ -157,6 +169,7 @@ impl Server {
 }
 
 /// Handle to a [`Server::spawn`]ed server.
+#[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
     thread: std::thread::JoinHandle<()>,
@@ -170,6 +183,7 @@ impl ServerHandle {
 
     /// Waits for the server to finish (after a `/shutdown` request).
     pub fn join(self) {
+        // em-lint: allow(panic-in-request-path) -- shutdown path; propagating a worker panic is the point
         self.thread.join().expect("server thread panicked");
     }
 }

@@ -12,6 +12,9 @@
 //! * [numeric similarity](numeric) for price-like attributes;
 //! * [basic tokenization / normalization](tokens).
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod alignment;
 pub mod jaro;
 pub mod levenshtein;

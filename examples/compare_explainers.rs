@@ -22,7 +22,7 @@ fn show(schema: &Schema, label: &str, views: &[ExplainedRecord]) {
             );
         }
         let mut ranked: Vec<_> = view.removable.iter().collect();
-        ranked.sort_by(|a, b| b.2.abs().partial_cmp(&a.2.abs()).unwrap());
+        ranked.sort_by(|a, b| b.2.abs().total_cmp(&a.2.abs()));
         for (side, token, weight) in ranked.into_iter().take(5) {
             println!(
                 "   {}_{}/{}: {:+.4}",

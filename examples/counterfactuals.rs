@@ -28,7 +28,7 @@ fn main() {
         .filter(|r| !r.label)
         .map(|r| (matcher.predict_proba(&schema, &r.pair), r.pair.clone()))
         .filter(|(p, _)| *p < 0.5)
-        .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+        .max_by(|a, b| a.0.total_cmp(&b.0))
         .expect("non-match exists")
         .1;
 

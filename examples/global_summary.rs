@@ -44,7 +44,7 @@ fn main() {
         .copied()
         .enumerate()
         .collect();
-    attrs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    attrs.sort_by(|a, b| b.1.total_cmp(&a.1));
     for (idx, imp) in attrs {
         println!("   {:<18} {:.4}", schema.name(idx), imp);
     }

@@ -53,7 +53,7 @@ fn main() {
         if !injected.is_empty() {
             println!("-- injected landmark tokens that would push towards match:");
             let mut best: Vec<_> = injected.into_iter().filter(|t| t.weight > 0.0).collect();
-            best.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap());
+            best.sort_by(|a, b| b.weight.total_cmp(&a.weight));
             for tw in best.into_iter().take(3) {
                 println!(
                     "   {}/{}: {:+.4}",

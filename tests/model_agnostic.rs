@@ -59,7 +59,7 @@ fn landmark_explanations_agree_on_informative_attributes_across_model_families()
     let top = |v: &[f64]| -> usize {
         v.iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0
     };

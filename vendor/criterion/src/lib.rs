@@ -11,6 +11,8 @@
 //! with `--test` (as `cargo test` does for benchmark targets) every
 //! benchmark body runs exactly once so the tier-1 gate stays fast.
 
+#![forbid(unsafe_code)]
+
 pub use std::hint::black_box;
 
 use std::time::{Duration, Instant};

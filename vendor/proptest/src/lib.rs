@@ -12,6 +12,8 @@
 //! seed (reproducible runs, no persistence files) and failures are reported
 //! without shrinking.
 
+#![forbid(unsafe_code)]
+
 pub mod strategy {
     use rand::rngs::StdRng;
     use rand::Rng;
@@ -184,8 +186,7 @@ pub mod strategy {
                     let mut k = 0;
                     while k < raw.len() {
                         if raw[k] == '-' && !set.is_empty() && k + 1 < raw.len() {
-                            let lo = *set.last().unwrap();
-                            set.pop();
+                            let lo = set.pop().expect("checked !set.is_empty()");
                             for v in lo as u32..=raw[k + 1] as u32 {
                                 if let Some(ch) = char::from_u32(v) {
                                     set.push(ch);

@@ -11,6 +11,8 @@
 //! the same seed always yields the same stream, on every platform and in
 //! every thread.
 
+#![forbid(unsafe_code)]
+
 /// A source of random 64-bit words.
 pub trait RngCore {
     /// The next 64 random bits.

@@ -4,6 +4,7 @@ use em_entity::{EntityPair, EntitySide, MatchModel, Schema};
 use em_lime::explanation::{PairExplanation, TokenWeight};
 use em_lime::sampler::MaskSampler;
 use em_lime::surrogate::{fit_surrogate, SurrogateConfig};
+use em_obs::{Counter, Span, Stage, Tracer};
 use em_par::ParallelismConfig;
 
 use crate::generation::generate_view;
@@ -133,9 +134,34 @@ impl LandmarkExplainer {
         schema: &Schema,
         pair: &EntityPair,
     ) -> DualExplanation {
+        self.explain_traced(model, schema, pair, em_obs::noop())
+    }
+
+    /// [`LandmarkExplainer::explain`] with per-stage timings recorded into
+    /// `tracer`. Tracing only observes — traced and untraced explanations
+    /// are bit-identical (DESIGN.md §10).
+    pub fn explain_traced<M: MatchModel + Sync>(
+        &self,
+        model: &M,
+        schema: &Schema,
+        pair: &EntityPair,
+        tracer: &dyn Tracer,
+    ) -> DualExplanation {
         DualExplanation {
-            left_landmark: self.explain_with_landmark(model, schema, pair, EntitySide::Left),
-            right_landmark: self.explain_with_landmark(model, schema, pair, EntitySide::Right),
+            left_landmark: self.explain_with_landmark_traced(
+                model,
+                schema,
+                pair,
+                EntitySide::Left,
+                tracer,
+            ),
+            right_landmark: self.explain_with_landmark_traced(
+                model,
+                schema,
+                pair,
+                EntitySide::Right,
+                tracer,
+            ),
         }
     }
 
@@ -147,9 +173,29 @@ impl LandmarkExplainer {
         pair: &EntityPair,
         landmark: EntitySide,
     ) -> LandmarkExplanation {
+        self.explain_with_landmark_traced(model, schema, pair, landmark, em_obs::noop())
+    }
+
+    /// [`LandmarkExplainer::explain_with_landmark`] with per-stage timings
+    /// recorded into `tracer`.
+    pub fn explain_with_landmark_traced<M: MatchModel + Sync>(
+        &self,
+        model: &M,
+        schema: &Schema,
+        pair: &EntityPair,
+        landmark: EntitySide,
+        tracer: &dyn Tracer,
+    ) -> LandmarkExplanation {
         let model_prediction = model.predict_proba(schema, pair);
         let strategy = self.config.strategy.resolve(model_prediction);
-        let view = generate_view(pair, landmark, strategy);
+        let view = {
+            // Landmark generation tokenizes both entities and (under
+            // double-entity) injects the landmark's tokens, so this span
+            // subsumes the tokenize stage for the landmark pipeline.
+            let _span = Span::enter(tracer, Stage::LandmarkGeneration);
+            generate_view(pair, landmark, strategy)
+        };
+        tracer.add(Counter::Features, view.tokens.len() as u64);
 
         // Seed differs per landmark so the two explanations don't share
         // masks, matching two independent explainer runs.
@@ -158,13 +204,27 @@ impl LandmarkExplainer {
                 EntitySide::Left => 0x9E37_79B9_7F4A_7C15,
                 EntitySide::Right => 0xD1B5_4A32_D192_ED03,
             };
-        let masks = MaskSampler::new(seed).sample(view.tokens.len(), self.config.n_samples);
-        let reconstructed: Vec<EntityPair> = masks
-            .iter()
-            .map(|mask| reconstruct_with_landmark(pair, &view, mask, schema.len()))
-            .collect();
-        let probs = model.par_predict_proba_batch(schema, &reconstructed, &self.config.parallelism);
-        let fit = fit_surrogate(&masks, &probs, &self.config.surrogate);
+        let masks = {
+            let _span = Span::enter(tracer, Stage::MaskSampling);
+            MaskSampler::new(seed).sample(view.tokens.len(), self.config.n_samples)
+        };
+        let reconstructed: Vec<EntityPair> = {
+            let _span = Span::enter(tracer, Stage::PairReconstruction);
+            masks
+                .iter()
+                .map(|mask| reconstruct_with_landmark(pair, &view, mask, schema.len()))
+                .collect()
+        };
+        let probs = model.par_predict_proba_batch_traced(
+            schema,
+            &reconstructed,
+            &self.config.parallelism,
+            tracer,
+        );
+        let fit = {
+            let _span = Span::enter(tracer, Stage::SurrogateFit);
+            fit_surrogate(&masks, &probs, &self.config.surrogate)
+        };
 
         let token_weights: Vec<TokenWeight> = view
             .tokens

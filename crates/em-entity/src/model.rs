@@ -2,6 +2,7 @@
 
 use crate::pair::EntityPair;
 use crate::schema::Schema;
+use em_obs::{Counter, Span, Stage, Tracer};
 use em_par::ParallelismConfig;
 
 /// An entity-matching model: anything that maps a record (pair of entities)
@@ -51,6 +52,28 @@ pub trait MatchModel {
     where
         Self: Sync,
     {
+        self.par_predict_proba_batch_traced(schema, pairs, parallelism, em_obs::noop())
+    }
+
+    /// [`MatchModel::par_predict_proba_batch`] with the batch timed as the
+    /// [`Stage::ModelScoring`] stage of `tracer`.
+    ///
+    /// Tracing only observes: the returned probabilities are bit-identical
+    /// to the untraced call for any tracer and any thread count. The span
+    /// covers the whole fork/join (the per-explanation hot path), and the
+    /// batch size is recorded as [`Counter::SamplesScored`].
+    fn par_predict_proba_batch_traced(
+        &self,
+        schema: &Schema,
+        pairs: &[EntityPair],
+        parallelism: &ParallelismConfig,
+        tracer: &dyn Tracer,
+    ) -> Vec<f64>
+    where
+        Self: Sync,
+    {
+        let _span = Span::enter(tracer, Stage::ModelScoring);
+        tracer.add(Counter::SamplesScored, pairs.len() as u64);
         em_par::par_map(parallelism, pairs, |_, p| self.predict_proba(schema, p))
     }
 }

@@ -7,6 +7,7 @@
 //! perturbations*), and which Landmark Explanation fixes one crate up.
 
 use em_entity::{detokenize, tokenize_pair, EntityPair, EntitySide, MatchModel, Schema, Token};
+use em_obs::{Counter, Span, Stage, Tracer};
 use em_par::ParallelismConfig;
 
 use crate::explanation::{PairExplanation, TokenWeight};
@@ -60,21 +61,51 @@ impl LimeExplainer {
         schema: &Schema,
         pair: &EntityPair,
     ) -> PairExplanation {
-        let (left_tokens, right_tokens) = tokenize_pair(pair);
-        let features: Vec<(EntitySide, Token)> = left_tokens
-            .into_iter()
-            .map(|t| (EntitySide::Left, t))
-            .chain(right_tokens.into_iter().map(|t| (EntitySide::Right, t)))
-            .collect();
+        self.explain_traced(model, schema, pair, em_obs::noop())
+    }
 
-        let masks =
-            MaskSampler::new(self.config.seed).sample(features.len(), self.config.n_samples);
-        let reconstructed: Vec<EntityPair> = masks
-            .iter()
-            .map(|mask| reconstruct_pair(&features, mask, schema.len()))
-            .collect();
-        let probs = model.par_predict_proba_batch(schema, &reconstructed, &self.config.parallelism);
-        let fit = fit_surrogate(&masks, &probs, &self.config.surrogate);
+    /// [`LimeExplainer::explain`] with per-stage timings recorded into
+    /// `tracer`. Tracing only observes — traced and untraced explanations
+    /// are bit-identical (DESIGN.md §10).
+    pub fn explain_traced<M: MatchModel + Sync>(
+        &self,
+        model: &M,
+        schema: &Schema,
+        pair: &EntityPair,
+        tracer: &dyn Tracer,
+    ) -> PairExplanation {
+        let features: Vec<(EntitySide, Token)> = {
+            let _span = Span::enter(tracer, Stage::Tokenize);
+            let (left_tokens, right_tokens) = tokenize_pair(pair);
+            left_tokens
+                .into_iter()
+                .map(|t| (EntitySide::Left, t))
+                .chain(right_tokens.into_iter().map(|t| (EntitySide::Right, t)))
+                .collect()
+        };
+        tracer.add(Counter::Features, features.len() as u64);
+
+        let masks = {
+            let _span = Span::enter(tracer, Stage::MaskSampling);
+            MaskSampler::new(self.config.seed).sample(features.len(), self.config.n_samples)
+        };
+        let reconstructed: Vec<EntityPair> = {
+            let _span = Span::enter(tracer, Stage::PairReconstruction);
+            masks
+                .iter()
+                .map(|mask| reconstruct_pair(&features, mask, schema.len()))
+                .collect()
+        };
+        let probs = model.par_predict_proba_batch_traced(
+            schema,
+            &reconstructed,
+            &self.config.parallelism,
+            tracer,
+        );
+        let fit = {
+            let _span = Span::enter(tracer, Stage::SurrogateFit);
+            fit_surrogate(&masks, &probs, &self.config.surrogate)
+        };
 
         let token_weights = features
             .into_iter()

@@ -10,6 +10,7 @@
 //! [`PairExplanation`].
 
 use em_entity::{tokenize_entity, EntityPair, EntitySide, MatchModel, Schema};
+use em_obs::{Counter, Span, Stage, Tracer};
 use em_par::ParallelismConfig;
 
 use crate::explanation::{PairExplanation, TokenWeight};
@@ -74,29 +75,60 @@ impl MojitoCopyExplainer {
         schema: &Schema,
         pair: &EntityPair,
     ) -> PairExplanation {
+        self.explain_traced(model, schema, pair, em_obs::noop())
+    }
+
+    /// [`MojitoCopyExplainer::explain`] with per-stage timings recorded
+    /// into `tracer`. Tracing only observes — traced and untraced
+    /// explanations are bit-identical (DESIGN.md §10).
+    pub fn explain_traced<M: MatchModel + Sync>(
+        &self,
+        model: &M,
+        schema: &Schema,
+        pair: &EntityPair,
+        tracer: &dyn Tracer,
+    ) -> PairExplanation {
         let d = schema.len();
-        let masks = MaskSampler::new(self.config.seed).sample(d, self.config.n_samples);
+        tracer.add(Counter::Features, d as u64);
+        let masks = {
+            let _span = Span::enter(tracer, Stage::MaskSampling);
+            MaskSampler::new(self.config.seed).sample(d, self.config.n_samples)
+        };
         let source = self.config.copy_into.other();
-        let reconstructed: Vec<EntityPair> = masks
-            .iter()
-            .map(|mask| {
-                let mut p = pair.clone();
-                for (attr, &keep) in mask.iter().enumerate() {
-                    if !keep {
-                        let value = pair.entity(source).value(attr).to_string();
-                        p.entity_mut(self.config.copy_into).set_value(attr, value);
+        let reconstructed: Vec<EntityPair> = {
+            let _span = Span::enter(tracer, Stage::PairReconstruction);
+            masks
+                .iter()
+                .map(|mask| {
+                    let mut p = pair.clone();
+                    for (attr, &keep) in mask.iter().enumerate() {
+                        if !keep {
+                            let value = pair.entity(source).value(attr).to_string();
+                            p.entity_mut(self.config.copy_into).set_value(attr, value);
+                        }
                     }
-                }
-                p
-            })
-            .collect();
-        let probs = model.par_predict_proba_batch(schema, &reconstructed, &self.config.parallelism);
-        let fit = fit_surrogate(&masks, &probs, &self.config.surrogate);
+                    p
+                })
+                .collect()
+        };
+        let probs = model.par_predict_proba_batch_traced(
+            schema,
+            &reconstructed,
+            &self.config.parallelism,
+            tracer,
+        );
+        let fit = {
+            let _span = Span::enter(tracer, Stage::SurrogateFit);
+            fit_surrogate(&masks, &probs, &self.config.surrogate)
+        };
 
         // Distribute each attribute's coefficient uniformly over the tokens
         // of the replaced side (the tokens the copy substitutes).
         let mut token_weights = Vec::new();
-        let replaced_tokens = tokenize_entity(pair.entity(self.config.copy_into));
+        let replaced_tokens = {
+            let _span = Span::enter(tracer, Stage::Tokenize);
+            tokenize_entity(pair.entity(self.config.copy_into))
+        };
         for (attr, &attr_weight) in fit.coefficients.iter().enumerate() {
             let attr_tokens: Vec<&em_entity::Token> = replaced_tokens
                 .iter()

@@ -42,9 +42,12 @@ pub const RULE_NAMES: &[&str] = &[
 /// order would leak nondeterminism into results (ISSUE 3 / DESIGN.md §9).
 const OUTPUT_CRATES: &[&str] = &["core", "em-lime", "em-eval", "em-serve"];
 
-/// Crates allowed to read wall clocks: benchmarks time by definition, and
-/// `em-serve` timestamps metrics/latency histograms (never seeds).
-const WALLCLOCK_CRATES: &[&str] = &["bench", "em-serve"];
+/// Crates allowed to read wall clocks: benchmarks time by definition,
+/// `em-serve` timestamps metrics/latency histograms (never seeds), and
+/// `em-obs` is the single sanctioned clock-reading crate in the pipeline
+/// — its spans observe stage durations without feeding seeds or scores
+/// (DESIGN.md §10).
+const WALLCLOCK_CRATES: &[&str] = &["bench", "em-serve", "em-obs"];
 
 /// Request-path modules of `em-serve` that must never panic on input.
 const REQUEST_PATH_FILES: &[&str] = &[
@@ -236,7 +239,8 @@ fn wallclock_in_seeded_path(ctx: &FileContext, out: &mut Vec<Finding>) {
                 message: format!(
                     "`{}::now()` in a seeded pipeline crate; clocks are ambient \
                      nondeterminism — thread timing through explicit seeds/config \
-                     (only `bench` and `em-serve` metrics may read time)",
+                     (only `bench`, `em-serve` metrics, and `em-obs` spans may \
+                     read time)",
                     t.ident().unwrap_or("")
                 ),
             });

@@ -1,0 +1,11 @@
+// Fixture (linted as crates/em-obs/src/fixture.rs): `em-obs` is the one
+// sanctioned clock-reading crate inside the pipeline — its spans measure
+// stage durations without feeding seeds or scores (DESIGN.md §10).
+
+use std::time::Instant;
+
+/// Fixture function.
+pub fn span_elapsed_nanos(enabled: bool) -> u64 {
+    let start = enabled.then(Instant::now);
+    start.map_or(0, |s| s.elapsed().as_nanos() as u64)
+}

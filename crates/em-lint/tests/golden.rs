@@ -58,6 +58,10 @@ const FIXTURES: &[(&str, &str)] = &[
         "crates/bench/src/fixture.rs",
     ),
     (
+        "wallclock-in-seeded-path/allowed_obs.rs",
+        "crates/em-obs/src/fixture.rs",
+    ),
+    (
         "panic-in-request-path/positive.rs",
         "crates/em-serve/src/http.rs",
     ),

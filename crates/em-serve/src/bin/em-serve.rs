@@ -32,6 +32,7 @@ FLAGS:
     --scale F            dataset size multiplier in (0,1]  [default: 0.25]
     --samples N          default perturbation samples      [default: 500]
     --seed N             default explanation seed          [default: 0]
+    --slow-ms N          slow-request log threshold (ms), 0 disables [default: 1000]
     --model PATH         load logistic coefficients instead of training
     --save-model PATH    write trained coefficients after startup training
     --help               print this help
@@ -48,6 +49,7 @@ struct Args {
     scale: f64,
     samples: usize,
     seed: u64,
+    slow_ms: u64,
     model: Option<String>,
     save_model: Option<String>,
 }
@@ -65,6 +67,7 @@ impl Default for Args {
             scale: 0.25,
             samples: 500,
             seed: 0,
+            slow_ms: 1_000,
             model: None,
             save_model: None,
         }
@@ -125,6 +128,7 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
                     .ok_or_else(|| bad("expected a positive integer"))?
             }
             "--seed" => args.seed = value.parse().map_err(|_| bad("expected an integer"))?,
+            "--slow-ms" => args.slow_ms = value.parse().map_err(|_| bad("expected an integer"))?,
             "--model" => args.model = Some(value.clone()),
             "--save-model" => args.save_model = Some(value.clone()),
             _ => return Err(format!("unknown flag {flag}")),
@@ -172,6 +176,7 @@ fn run(args: Args) -> Result<(), String> {
             seed: args.seed,
             ..Default::default()
         },
+        slow_request_ms: (args.slow_ms > 0).then_some(args.slow_ms),
         ..Default::default()
     };
     let workers = config.parallelism.worker_count();

@@ -257,6 +257,18 @@ pub fn run_explain<M: em_entity::MatchModel + Sync>(
     schema: &Schema,
     request: &ExplainRequest,
 ) -> Value {
+    run_explain_traced(model, schema, request, em_obs::noop())
+}
+
+/// [`run_explain`] with per-stage timings recorded into `tracer`. Tracing
+/// only observes: traced and untraced response bodies are byte-identical
+/// (DESIGN.md §10).
+pub fn run_explain_traced<M: em_entity::MatchModel + Sync>(
+    model: &M,
+    schema: &Schema,
+    request: &ExplainRequest,
+    tracer: &dyn em_obs::Tracer,
+) -> Value {
     let options = &request.options;
     let views: Vec<Value> = match request.explainer {
         ExplainerKind::Landmark | ExplainerKind::LandmarkSingle | ExplainerKind::LandmarkDouble => {
@@ -272,7 +284,7 @@ pub fn run_explain<M: em_entity::MatchModel + Sync>(
                 seed: options.seed,
                 parallelism: options.parallelism(),
             });
-            let dual = explainer.explain(model, schema, &request.pair);
+            let dual = explainer.explain_traced(model, schema, &request.pair, tracer);
             dual.both()
                 .iter()
                 .map(|view| {
@@ -294,7 +306,7 @@ pub fn run_explain<M: em_entity::MatchModel + Sync>(
                 seed: options.seed,
                 parallelism: options.parallelism(),
             });
-            let explanation = explainer.explain(model, schema, &request.pair);
+            let explanation = explainer.explain_traced(model, schema, &request.pair, tracer);
             vec![encode_view(
                 schema,
                 None,
@@ -312,7 +324,7 @@ pub fn run_explain<M: em_entity::MatchModel + Sync>(
                 seed: options.seed,
                 parallelism: options.parallelism(),
             });
-            let explanation = explainer.explain(model, schema, &request.pair);
+            let explanation = explainer.explain_traced(model, schema, &request.pair, tracer);
             vec![encode_view(
                 schema,
                 None,
@@ -561,6 +573,32 @@ mod tests {
                     tw.token.text.as_str()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn traced_and_untraced_responses_are_byte_identical() {
+        // The tracing acceptance bar: attaching a Collector must never
+        // change a single output byte, for every explainer.
+        let s = schema();
+        let d = ExplainOptions {
+            n_samples: 32,
+            ..Default::default()
+        };
+        for explainer in ["landmark", "landmark-single", "lime", "mojito-copy"] {
+            let body = format!(
+                r#"{{"pair": {{"left": {{"name": "sony camera"}}, "right": {{"name": "sony kit"}}}},
+                     "explainer": "{explainer}"}}"#
+            );
+            let req = decode_explain_request(&body, &s, &d).unwrap();
+            let untraced = run_explain(&OverlapModel, &s, &req).to_json();
+            let trace = em_obs::Collector::new();
+            let traced = run_explain_traced(&OverlapModel, &s, &req, &trace).to_json();
+            assert_eq!(untraced, traced, "{explainer}");
+            assert!(
+                trace.counter(em_obs::Counter::SamplesScored) > 0,
+                "{explainer} recorded nothing"
+            );
         }
     }
 

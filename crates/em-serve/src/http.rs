@@ -45,6 +45,10 @@ pub enum HttpError {
     Malformed(String),
     /// Body longer than [`MAX_BODY_BYTES`] (→ 413).
     BodyTooLarge,
+    /// The peer closed the connection before sending any request byte —
+    /// a plain port probe or health-checker connect. Not a protocol
+    /// error: the server writes no response and bumps no error counter.
+    Closed,
     /// The socket failed or closed mid-request.
     Io(String),
 }
@@ -54,6 +58,7 @@ impl std::fmt::Display for HttpError {
         match self {
             HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
             HttpError::BodyTooLarge => write!(f, "request body too large"),
+            HttpError::Closed => write!(f, "connection closed before any request byte"),
             HttpError::Io(m) => write!(f, "i/o: {m}"),
         }
     }
@@ -61,13 +66,40 @@ impl std::fmt::Display for HttpError {
 
 impl std::error::Error for HttpError {}
 
+/// Reads one `\n`-terminated line of at most `budget` bytes (terminator
+/// included), without buffering anything past the cap. Returns the empty
+/// string on EOF. A line longer than `budget` is rejected — this is what
+/// keeps a newline-less request line (or a single huge header line) from
+/// buffering unboundedly.
+fn read_capped_line<R: BufRead>(
+    reader: &mut R,
+    budget: usize,
+    what: &str,
+) -> Result<String, HttpError> {
+    let mut line = String::new();
+    let n = reader
+        .take(budget as u64 + 1)
+        .read_line(&mut line)
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    if n > budget {
+        return Err(HttpError::Malformed(format!(
+            "{what} exceeds the {MAX_HEADER_BYTES}-byte header cap"
+        )));
+    }
+    Ok(line)
+}
+
 /// Reads one HTTP/1.1 request from `stream`.
 pub fn read_request<S: Read>(stream: S) -> Result<Request, HttpError> {
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    reader
-        .read_line(&mut line)
-        .map_err(|e| HttpError::Io(e.to_string()))?;
+    // The request line, headers, and terminating blank line all count
+    // against one [`MAX_HEADER_BYTES`] budget, enforced *while* reading.
+    let mut budget = MAX_HEADER_BYTES;
+    let line = read_capped_line(&mut reader, budget, "request line")?;
+    if line.is_empty() {
+        return Err(HttpError::Closed);
+    }
+    budget -= line.len();
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
@@ -85,35 +117,41 @@ pub fn read_request<S: Read>(stream: S) -> Result<Request, HttpError> {
     }
 
     let mut headers = Vec::new();
-    let mut header_bytes = 0usize;
     loop {
-        let mut header = String::new();
-        reader
-            .read_line(&mut header)
-            .map_err(|e| HttpError::Io(e.to_string()))?;
+        let header = read_capped_line(&mut reader, budget, "header section")?;
         let trimmed = header.trim_end_matches(['\r', '\n']);
         if trimmed.is_empty() {
             break;
         }
-        header_bytes += header.len();
-        if header_bytes > MAX_HEADER_BYTES {
-            return Err(HttpError::Malformed("header section too large".into()));
-        }
+        budget -= header.len();
         let (name, value) = trimmed
             .split_once(':')
             .ok_or_else(|| HttpError::Malformed(format!("bad header line {trimmed:?}")))?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    let content_length = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| {
-            v.parse::<usize>()
-                .map_err(|_| HttpError::Malformed("bad content-length".into()))
-        })
-        .transpose()?
-        .unwrap_or(0);
+    // Every `Content-Length` header must agree. Resolving duplicates to
+    // any single one silently (the old `find` behaviour) is the classic
+    // request-smuggling bug: two parsers picking different values frame
+    // the connection differently.
+    let mut declared: Option<usize> = None;
+    for (name, value) in &headers {
+        if name != "content-length" {
+            continue;
+        }
+        let parsed = value
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed("bad content-length".into()))?;
+        match declared {
+            Some(previous) if previous != parsed => {
+                return Err(HttpError::Malformed(
+                    "conflicting content-length headers".into(),
+                ));
+            }
+            _ => declared = Some(parsed),
+        }
+    }
+    let content_length = declared.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(HttpError::BodyTooLarge);
     }
@@ -254,6 +292,77 @@ mod tests {
             read_request("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n".as_bytes()),
             Err(HttpError::Malformed(_))
         ));
+    }
+
+    /// A reader that never yields a newline — a socket-level slowloris.
+    /// With the old unbounded `read_line` this made `read_request` buffer
+    /// forever; the capped read must bail after [`MAX_HEADER_BYTES`].
+    struct EndlessBytes;
+
+    impl Read for EndlessBytes {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            for b in buf.iter_mut() {
+                *b = b'a';
+            }
+            Ok(buf.len())
+        }
+    }
+
+    #[test]
+    fn oversized_request_line_is_rejected_not_buffered() {
+        // Regression: an endless request line used to grow the line buffer
+        // without bound. Terminating at all proves the cap is enforced.
+        assert!(matches!(
+            read_request(EndlessBytes),
+            Err(HttpError::Malformed(m)) if m.contains("request line")
+        ));
+    }
+
+    #[test]
+    fn oversized_header_line_is_rejected_not_buffered() {
+        let head = "GET / HTTP/1.1\r\nX-Huge: ".as_bytes();
+        assert!(matches!(
+            read_request(head.chain(EndlessBytes)),
+            Err(HttpError::Malformed(m)) if m.contains("header section")
+        ));
+    }
+
+    #[test]
+    fn header_section_at_the_cap_is_rejected() {
+        let filler = "a".repeat(MAX_HEADER_BYTES);
+        let raw = format!("GET / HTTP/1.1\r\nX-Filler: {filler}\r\n\r\n");
+        assert!(matches!(
+            read_request(raw.as_bytes()),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn eof_before_any_byte_is_a_clean_close() {
+        // Regression: a bare connect-and-close (port probe) used to surface
+        // as `Malformed("empty request line")` and bump the error counter.
+        assert!(matches!(
+            read_request("".as_bytes()),
+            Err(HttpError::Closed)
+        ));
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_rejected() {
+        // Regression: `find` used to silently pick the first value — the
+        // request-smuggling framing ambiguity.
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 2\r\n\r\nabcd";
+        assert!(matches!(
+            read_request(raw.as_bytes()),
+            Err(HttpError::Malformed(m)) if m.contains("conflicting")
+        ));
+    }
+
+    #[test]
+    fn duplicate_identical_content_lengths_are_tolerated() {
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = read_request(raw.as_bytes()).unwrap();
+        assert_eq!(req.body, "abcd");
     }
 
     #[test]

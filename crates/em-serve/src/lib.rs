@@ -7,11 +7,15 @@
 //!   explanation JSON, answered from a sharded LRU cache when possible
 //!   (`X-Cache: hit|miss`); cached and fresh responses are bit-identical
 //!   because explanations are deterministic functions of
-//!   `(pair, explainer, config, seed)`;
+//!   `(pair, explainer, config, seed)`. Each response carries an
+//!   `X-Timing` header with the request's per-stage breakdown (an
+//!   `em-obs` trace; DESIGN.md §10), and requests slower than
+//!   [`ServerConfig::slow_request_ms`] are logged to stderr;
 //! * `POST /predict` — record pair → match probability + decision;
 //! * `GET /healthz` — liveness;
 //! * `GET /metrics` — Prometheus text: per-endpoint request counters and
-//!   latency histograms, cache hit/miss/eviction counters;
+//!   latency histograms, per-pipeline-stage latency histograms
+//!   (`em_serve_stage_latency_us`), slow-request and cache counters;
 //! * `POST /shutdown` — graceful stop (in-flight requests drain).
 //!
 //! Concurrency comes from a bounded accept/worker pool built on

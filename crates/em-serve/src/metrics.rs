@@ -77,10 +77,22 @@ struct EndpointSeries {
     latency_sum_us: AtomicU64,
 }
 
-/// The registry: one series per endpoint.
+/// One histogram per pipeline stage ([`em_obs::Stage`]): each `/explain`
+/// request contributes one observation per stage it entered — the total
+/// time that request spent in the stage.
+#[derive(Debug, Default)]
+struct StageSeries {
+    count: AtomicU64,
+    bucket_counts: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    sum_us: AtomicU64,
+}
+
+/// The registry: one series per endpoint plus per-stage histograms.
 #[derive(Debug, Default)]
 pub struct Metrics {
     series: [EndpointSeries; 6],
+    stages: [StageSeries; em_obs::N_STAGES],
+    slow_requests: AtomicU64,
 }
 
 impl Metrics {
@@ -112,6 +124,37 @@ impl Metrics {
         self.series[endpoint.index()]
             .requests
             .load(Ordering::Relaxed)
+    }
+
+    /// Folds one request's per-stage timings (an [`em_obs::Collector`]
+    /// filled during `/explain`) into the stage histograms. Stages the
+    /// request never entered (e.g. everything on a cache hit) are skipped
+    /// rather than observed as zeros.
+    pub fn record_explain_stages(&self, trace: &em_obs::Collector) {
+        for stage in em_obs::Stage::all() {
+            if trace.stage_entries(stage) == 0 {
+                continue;
+            }
+            let us = trace.stage_nanos(stage) / 1_000;
+            let series = &self.stages[stage.index()];
+            series.count.fetch_add(1, Ordering::Relaxed);
+            series.sum_us.fetch_add(us, Ordering::Relaxed);
+            let bucket = LATENCY_BUCKETS_US
+                .iter()
+                .position(|&bound| us <= bound)
+                .unwrap_or(LATENCY_BUCKETS_US.len());
+            series.bucket_counts[bucket].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one request that exceeded the slow-request threshold.
+    pub fn record_slow(&self) {
+        self.slow_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests counted by [`Metrics::record_slow`].
+    pub fn slow_requests(&self) -> u64 {
+        self.slow_requests.load(Ordering::Relaxed)
     }
 
     /// Renders the Prometheus text exposition, including the cache
@@ -167,6 +210,41 @@ impl Metrics {
                 s.requests.load(Ordering::Relaxed)
             ));
         }
+        out.push_str("# TYPE em_serve_stage_latency_us histogram\n");
+        for stage in em_obs::Stage::all() {
+            let s = &self.stages[stage.index()];
+            let mut cumulative = 0u64;
+            for (i, &bound) in LATENCY_BUCKETS_US.iter().enumerate() {
+                cumulative += s.bucket_counts[i].load(Ordering::Relaxed);
+                out.push_str(&format!(
+                    "em_serve_stage_latency_us_bucket{{stage=\"{}\",le=\"{}\"}} {}\n",
+                    stage.label(),
+                    bound,
+                    cumulative
+                ));
+            }
+            cumulative += s.bucket_counts[LATENCY_BUCKETS_US.len()].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "em_serve_stage_latency_us_bucket{{stage=\"{}\",le=\"+Inf\"}} {}\n",
+                stage.label(),
+                cumulative
+            ));
+            out.push_str(&format!(
+                "em_serve_stage_latency_us_sum{{stage=\"{}\"}} {}\n",
+                stage.label(),
+                s.sum_us.load(Ordering::Relaxed)
+            ));
+            out.push_str(&format!(
+                "em_serve_stage_latency_us_count{{stage=\"{}\"}} {}\n",
+                stage.label(),
+                s.count.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# TYPE em_serve_slow_requests_total counter\n");
+        out.push_str(&format!(
+            "em_serve_slow_requests_total {}\n",
+            self.slow_requests.load(Ordering::Relaxed)
+        ));
         out.push_str("# TYPE em_serve_cache_hits_total counter\n");
         out.push_str(&format!(
             "em_serve_cache_hits_total {}\n",
@@ -232,6 +310,27 @@ mod tests {
         assert!(
             text.contains("em_serve_request_latency_us_bucket{endpoint=\"predict\",le=\"5000\"} 5")
         );
+    }
+
+    #[test]
+    fn stage_histograms_render_per_stage_series() {
+        use em_obs::{Stage, Tracer};
+        let m = Metrics::new();
+        let trace = em_obs::Collector::new();
+        trace.record_stage(Stage::ModelScoring, 2_000_000); // 2000 us
+        trace.record_stage(Stage::SurrogateFit, 50_000); // 50 us
+        m.record_explain_stages(&trace);
+        m.record_slow();
+        let text = m.render(&CacheStats::default(), 0);
+        assert!(text
+            .contains("em_serve_stage_latency_us_bucket{stage=\"model_scoring\",le=\"5000\"} 1"));
+        assert!(text.contains("em_serve_stage_latency_us_sum{stage=\"model_scoring\"} 2000"));
+        assert!(text.contains("em_serve_stage_latency_us_count{stage=\"model_scoring\"} 1"));
+        assert!(text.contains("em_serve_stage_latency_us_count{stage=\"surrogate_fit\"} 1"));
+        // Stages the request never entered still render (at zero).
+        assert!(text.contains("em_serve_stage_latency_us_count{stage=\"tokenize\"} 0"));
+        assert!(text.contains("em_serve_slow_requests_total 1"));
+        assert_eq!(m.slow_requests(), 1);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use em_entity::{MatchModel, Schema};
+use em_obs::Tracer;
 use em_par::ParallelismConfig;
 
 use crate::cache::ShardedCache;
@@ -41,6 +42,11 @@ pub struct ServerConfig {
     pub defaults: ExplainOptions,
     /// Decision threshold for `POST /predict`.
     pub predict_threshold: f64,
+    /// An `/explain` request slower than this (wall-clock, milliseconds)
+    /// is logged to stderr with its stage breakdown and counted in
+    /// `em_serve_slow_requests_total`. `None` disables slow-request
+    /// logging entirely.
+    pub slow_request_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +58,7 @@ impl Default for ServerConfig {
             cache_shards: 8,
             defaults: ExplainOptions::default(),
             predict_threshold: 0.5,
+            slow_request_ms: Some(1_000),
         }
     }
 }
@@ -64,6 +71,7 @@ struct AppState {
     metrics: Metrics,
     defaults: ExplainOptions,
     predict_threshold: f64,
+    slow_request_ms: Option<u64>,
     shutdown: AtomicBool,
     addr: SocketAddr,
 }
@@ -111,6 +119,7 @@ impl Server {
                 metrics: Metrics::new(),
                 defaults: config.defaults,
                 predict_threshold: config.predict_threshold,
+                slow_request_ms: config.slow_request_ms,
                 shutdown: AtomicBool::new(false),
                 addr,
             },
@@ -199,6 +208,10 @@ fn handle_connection(state: &AppState, stream: TcpStream) {
     let start = Instant::now();
     let (endpoint, response, is_shutdown) = match read_request(&stream) {
         Ok(request) => route(state, &request),
+        // The peer connected and closed without sending a byte (port
+        // probe, health checker). Nothing was asked, so nothing is
+        // answered and no counter is bumped.
+        Err(HttpError::Closed) => return,
         Err(HttpError::BodyTooLarge) => (
             Endpoint::Other,
             Response::json(413, error_body("request body too large")),
@@ -272,21 +285,63 @@ fn route(state: &AppState, request: &Request) -> (Endpoint, Response, bool) {
 }
 
 fn handle_explain(state: &AppState, request: &Request) -> Response {
+    let start = Instant::now();
     let decoded = match codec::decode_explain_request(&request.body, &state.schema, &state.defaults)
     {
         Ok(d) => d,
         Err(msg) => return Response::json(400, error_body(&msg)),
     };
     let key = codec::cache_key(&state.schema, &decoded);
-    if let Some(body) = state.cache.get(&key) {
+    let trace = em_obs::Collector::new();
+    let (body, cache_state) = match state.cache.get(&key) {
         // The cached body is bit-identical to a fresh computation (the
         // explanation is a deterministic function of the key), so only the
         // X-Cache header distinguishes this path.
-        return Response::json(200, body).with_header("X-Cache", "hit");
+        Some(body) => {
+            trace.add(em_obs::Counter::CacheHits, 1);
+            (body, "hit")
+        }
+        None => {
+            trace.add(em_obs::Counter::CacheMisses, 1);
+            let body =
+                codec::run_explain_traced(&state.model, &state.schema, &decoded, &trace).to_json();
+            state.cache.insert(key, body.clone());
+            (body, "miss")
+        }
+    };
+    state.metrics.record_explain_stages(&trace);
+    let total_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let timing = timing_header(total_us, &trace);
+    if state
+        .slow_request_ms
+        .is_some_and(|ms| total_us > ms.saturating_mul(1_000))
+    {
+        state.metrics.record_slow();
+        eprintln!("em-serve: slow request POST /explain ({timing})");
     }
-    let body = codec::run_explain(&state.model, &state.schema, &decoded).to_json();
-    state.cache.insert(key, body.clone());
-    Response::json(200, body).with_header("X-Cache", "miss")
+    Response::json(200, body)
+        .with_header("X-Cache", cache_state)
+        .with_header("X-Timing", &timing)
+}
+
+/// Formats the `X-Timing` header: total handler wall-clock plus one
+/// `stage=<n>us` entry for every pipeline stage the request entered (a
+/// cache hit therefore reports only `total`).
+fn timing_header(total_us: u64, trace: &em_obs::Collector) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("total={total_us}us");
+    for stage in em_obs::Stage::all() {
+        if trace.stage_entries(stage) == 0 {
+            continue;
+        }
+        let _ = write!(
+            out,
+            "; {}={}us",
+            stage.label(),
+            trace.stage_nanos(stage) / 1_000
+        );
+    }
+    out
 }
 
 fn handle_predict(state: &AppState, request: &Request) -> Response {

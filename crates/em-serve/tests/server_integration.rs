@@ -142,6 +142,18 @@ fn serves_bit_identical_explanations_with_cache_and_metrics() {
     assert_eq!(warm.header("x-cache"), Some("hit"));
     assert_eq!(warm.body, cold.body, "cached body must be byte-identical");
 
+    // The tracing layer reports stage timings without changing the body.
+    let cold_timing = cold.header("x-timing").expect("X-Timing on cold path");
+    assert!(cold_timing.starts_with("total="), "{cold_timing}");
+    assert!(cold_timing.contains("model_scoring="), "{cold_timing}");
+    assert!(cold_timing.contains("surrogate_fit="), "{cold_timing}");
+    let warm_timing = warm.header("x-timing").expect("X-Timing on warm path");
+    assert!(warm_timing.starts_with("total="), "{warm_timing}");
+    assert!(
+        !warm_timing.contains("model_scoring="),
+        "a cache hit runs no pipeline stage: {warm_timing}"
+    );
+
     let metrics_text = client::request(addr, "GET", "/metrics", "").unwrap();
     assert_eq!(metrics_text.status, 200);
     let text = metrics_text.body;
@@ -161,6 +173,22 @@ fn serves_bit_identical_explanations_with_cache_and_metrics() {
             &text,
             "em_serve_request_latency_us_count{endpoint=\"explain\"}"
         ) == 2
+    );
+    // Only the cold request ran the pipeline, so each stage histogram saw
+    // exactly one observation.
+    assert_eq!(
+        metric(
+            &text,
+            "em_serve_stage_latency_us_count{stage=\"model_scoring\"}"
+        ),
+        1
+    );
+    assert_eq!(
+        metric(
+            &text,
+            "em_serve_stage_latency_us_count{stage=\"surrogate_fit\"}"
+        ),
+        1
     );
 
     // Prediction agrees bit-for-bit with the matcher.

@@ -1,5 +1,6 @@
 //! The Landmark Explanation entry point.
 
+use em_entity::prepared::{PerturbSpec, SideSpec};
 use em_entity::{EntityPair, EntitySide, MatchModel, Schema};
 use em_lime::explanation::{PairExplanation, TokenWeight};
 use em_lime::sampler::MaskSampler;
@@ -8,7 +9,6 @@ use em_obs::{Counter, Span, Stage, Tracer};
 use em_par::ParallelismConfig;
 
 use crate::generation::generate_view;
-use crate::reconstruction::reconstruct_with_landmark;
 use crate::strategy::{GenerationStrategy, ResolvedStrategy};
 
 /// Configuration for [`LandmarkExplainer`].
@@ -208,19 +208,20 @@ impl LandmarkExplainer {
             let _span = Span::enter(tracer, Stage::MaskSampling);
             MaskSampler::new(seed).sample(view.tokens.len(), self.config.n_samples)
         };
-        let reconstructed: Vec<EntityPair> = {
+        // The prepared kernel subsumes per-mask pair reconstruction: the
+        // spec describes the whole perturbation family and the model's
+        // scorer rebuilds (or incrementally scores) each mask itself, with
+        // output bit-identical to reconstruct-then-predict (DESIGN.md §11).
+        let spec = {
             let _span = Span::enter(tracer, Stage::PairReconstruction);
-            masks
-                .iter()
-                .map(|mask| reconstruct_with_landmark(pair, &view, mask, schema.len()))
-                .collect()
+            let (left, right) = match view.varying {
+                EntitySide::Left => (SideSpec::Varying(&view.tokens[..]), SideSpec::Fixed),
+                EntitySide::Right => (SideSpec::Fixed, SideSpec::Varying(&view.tokens[..])),
+            };
+            PerturbSpec::TokenDrop { pair, left, right }
         };
-        let probs = model.par_predict_proba_batch_traced(
-            schema,
-            &reconstructed,
-            &self.config.parallelism,
-            tracer,
-        );
+        let probs =
+            model.par_score_masks_traced(schema, &spec, &masks, &self.config.parallelism, tracer);
         let fit = {
             let _span = Span::enter(tracer, Stage::SurrogateFit);
             fit_surrogate(&masks, &probs, &self.config.surrogate)

@@ -14,14 +14,21 @@ use crate::generation::VaryingView;
 /// Rebuilds the record for one perturbation mask.
 ///
 /// # Panics
-/// Panics (debug) if `mask.len() != view.tokens.len()`.
+/// Panics if `mask.len() != view.tokens.len()`. This is a real assert (not
+/// `debug_assert`): a short mask would otherwise silently truncate the
+/// perturbation via `zip`, keeping every unmasked trailing token and
+/// corrupting the surrogate's training data in release builds.
 pub fn reconstruct_with_landmark(
     original: &EntityPair,
     view: &VaryingView,
     mask: &[bool],
     n_attributes: usize,
 ) -> EntityPair {
-    debug_assert_eq!(mask.len(), view.tokens.len());
+    assert_eq!(
+        mask.len(),
+        view.tokens.len(),
+        "perturbation mask length must equal the view's token count"
+    );
     let kept: Vec<Token> = view
         .tokens
         .iter()
@@ -88,6 +95,15 @@ mod tests {
         assert_eq!(rec.right.value(0), "sony camera");
         assert_eq!(rec.right.value(1), "849.99");
         assert_eq!(rec.left, p.left);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length")]
+    fn short_mask_panics_instead_of_truncating() {
+        let p = pair();
+        let view = generate_view(&p, EntitySide::Left, ResolvedStrategy::SingleEntity);
+        let mask = vec![true; view.tokens.len() - 1];
+        reconstruct_with_landmark(&p, &view, &mask, 2);
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod dataset;
 pub mod entity;
 pub mod model;
 pub mod pair;
+pub mod prepared;
 pub mod schema;
 pub mod tokenizer;
 
@@ -32,5 +33,6 @@ pub use dataset::{EmDataset, SplitConfig};
 pub use entity::{Entity, UnknownAttribute};
 pub use model::MatchModel;
 pub use pair::{EntityPair, EntitySide, LabeledPair};
+pub use prepared::{FallbackScorer, PerturbSpec, PreparedScorer, SideSpec};
 pub use schema::Schema;
 pub use tokenizer::{detokenize, tokenize_entity, tokenize_pair, Token};

@@ -1,6 +1,7 @@
 //! The black-box model interface every explainer consumes.
 
 use crate::pair::EntityPair;
+use crate::prepared::{FallbackScorer, PerturbSpec, PreparedScorer};
 use crate::schema::Schema;
 use em_obs::{Counter, Span, Stage, Tracer};
 use em_par::ParallelismConfig;
@@ -76,18 +77,105 @@ pub trait MatchModel {
         tracer.add(Counter::SamplesScored, pairs.len() as u64);
         em_par::par_map(parallelism, pairs, |_, p| self.predict_proba(schema, p))
     }
+
+    /// Builds a [`PreparedScorer`] for one perturbation family.
+    ///
+    /// The default falls back to the naive reconstruct-then-predict path
+    /// ([`FallbackScorer`]); models with an incremental kernel override
+    /// this with a scorer that precomputes per-record state once. Every
+    /// override must stay **bit-identical** to the fallback for all masks
+    /// (DESIGN.md §11) — the kernel is a pure optimization, never a
+    /// semantic fork.
+    ///
+    /// Object-safe, so boxed models (`Box<dyn MatchModel + …>`, as served
+    /// by `em-serve`) dispatch to the concrete model's kernel through the
+    /// vtable.
+    fn prepare_scorer<'a>(
+        &'a self,
+        schema: &'a Schema,
+        spec: &'a PerturbSpec<'a>,
+    ) -> Box<dyn PreparedScorer + 'a> {
+        Box::new(FallbackScorer::new(self, schema, spec))
+    }
+
+    /// Scores every mask of a perturbation family across a thread pool
+    /// via [`MatchModel::prepare_scorer`].
+    ///
+    /// Each worker builds one scorer and reuses its buffers across its
+    /// contiguous chunk of masks; results come back in input order. For
+    /// any thread count the output is bit-identical to scoring serially —
+    /// and, by the prepared-scorer contract, to reconstructing each
+    /// masked pair and calling [`MatchModel::predict_proba`] on it.
+    fn par_score_masks(
+        &self,
+        schema: &Schema,
+        spec: &PerturbSpec<'_>,
+        masks: &[Vec<bool>],
+        parallelism: &ParallelismConfig,
+    ) -> Vec<f64>
+    where
+        Self: Sync,
+    {
+        self.par_score_masks_traced(schema, spec, masks, parallelism, em_obs::noop())
+    }
+
+    /// [`MatchModel::par_score_masks`] with the batch timed as the
+    /// [`Stage::ModelScoring`] stage of `tracer`, recording the mask count
+    /// as [`Counter::SamplesScored`] — the same accounting the pair-batch
+    /// path uses, so stage profiles stay comparable.
+    fn par_score_masks_traced(
+        &self,
+        schema: &Schema,
+        spec: &PerturbSpec<'_>,
+        masks: &[Vec<bool>],
+        parallelism: &ParallelismConfig,
+        tracer: &dyn Tracer,
+    ) -> Vec<f64>
+    where
+        Self: Sync,
+    {
+        let _span = Span::enter(tracer, Stage::ModelScoring);
+        tracer.add(Counter::SamplesScored, masks.len() as u64);
+        em_par::par_map_init(
+            parallelism,
+            masks,
+            || self.prepare_scorer(schema, spec),
+            |scorer, _, mask| scorer.score_mask(mask),
+        )
+    }
 }
 
 /// Blanket implementation so `&M`, `Box<M>`, etc. are also models.
+///
+/// `prepare_scorer` must forward too: without it, a wrapped model would
+/// silently fall back to the naive scorer and lose its kernel — `em-serve`
+/// holds models as `Box<dyn MatchModel + Send + Sync>` and relies on this
+/// forwarding to engage the kernel on the serving path.
 impl<M: MatchModel + ?Sized> MatchModel for &M {
     fn predict_proba(&self, schema: &Schema, pair: &EntityPair) -> f64 {
         (**self).predict_proba(schema, pair)
+    }
+
+    fn prepare_scorer<'a>(
+        &'a self,
+        schema: &'a Schema,
+        spec: &'a PerturbSpec<'a>,
+    ) -> Box<dyn PreparedScorer + 'a> {
+        (**self).prepare_scorer(schema, spec)
     }
 }
 
 impl<M: MatchModel + ?Sized> MatchModel for Box<M> {
     fn predict_proba(&self, schema: &Schema, pair: &EntityPair) -> f64 {
         (**self).predict_proba(schema, pair)
+    }
+
+    fn prepare_scorer<'a>(
+        &'a self,
+        schema: &'a Schema,
+        spec: &'a PerturbSpec<'a>,
+    ) -> Box<dyn PreparedScorer + 'a> {
+        (**self).prepare_scorer(schema, spec)
     }
 }
 
@@ -151,5 +239,70 @@ mod tests {
         let boxed: Box<dyn MatchModel> = Box::new(EqualityModel);
         assert_eq!(by_ref.predict_proba(&s, &p), 0.5);
         assert_eq!(boxed.predict_proba(&s, &p), 0.5);
+    }
+
+    /// Probe model whose kernel returns a sentinel: if a wrapper fails to
+    /// forward `prepare_scorer`, the fallback would return real
+    /// probabilities instead of the sentinel and this test catches it.
+    struct KernelProbe;
+
+    struct SentinelScorer;
+
+    impl PreparedScorer for SentinelScorer {
+        fn score_mask(&mut self, _mask: &[bool]) -> f64 {
+            42.0
+        }
+    }
+
+    impl MatchModel for KernelProbe {
+        fn predict_proba(&self, _schema: &Schema, _pair: &EntityPair) -> f64 {
+            0.0
+        }
+
+        fn prepare_scorer<'a>(
+            &'a self,
+            _schema: &'a Schema,
+            _spec: &'a PerturbSpec<'a>,
+        ) -> Box<dyn PreparedScorer + 'a> {
+            Box::new(SentinelScorer)
+        }
+    }
+
+    #[test]
+    fn boxed_and_borrowed_models_forward_prepare_scorer() {
+        let (s, p) = setup();
+        let spec = PerturbSpec::AttrCopy {
+            pair: &p,
+            copy_into: crate::pair::EntitySide::Right,
+        };
+        let mask = vec![true, true];
+        let boxed: Box<dyn MatchModel + Send + Sync> = Box::new(KernelProbe);
+        assert_eq!(boxed.prepare_scorer(&s, &spec).score_mask(&mask), 42.0);
+        let by_ref = &KernelProbe;
+        assert_eq!(by_ref.prepare_scorer(&s, &spec).score_mask(&mask), 42.0);
+    }
+
+    #[test]
+    fn par_score_masks_matches_fallback_for_any_thread_count() {
+        let (s, p) = setup();
+        let spec = PerturbSpec::AttrCopy {
+            pair: &p,
+            copy_into: crate::pair::EntitySide::Right,
+        };
+        let masks: Vec<Vec<bool>> = vec![
+            vec![true, true],
+            vec![false, true],
+            vec![true, false],
+            vec![false, false],
+        ];
+        let expected: Vec<f64> = masks
+            .iter()
+            .map(|m| EqualityModel.predict_proba(&s, &spec.reconstruct(m, s.len())))
+            .collect();
+        for threads in [1, 2, 4] {
+            let cfg = ParallelismConfig::with_threads(threads);
+            let got = EqualityModel.par_score_masks(&s, &spec, &masks, &cfg);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
     }
 }

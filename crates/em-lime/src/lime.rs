@@ -6,7 +6,9 @@
 //! paper identifies (random removals hit both entities and produce *null
 //! perturbations*), and which Landmark Explanation fixes one crate up.
 
-use em_entity::{detokenize, tokenize_pair, EntityPair, EntitySide, MatchModel, Schema, Token};
+#[cfg(test)]
+use em_entity::{detokenize, Token};
+use em_entity::{tokenize_pair, EntityPair, EntitySide, MatchModel, PerturbSpec, Schema, SideSpec};
 use em_obs::{Counter, Span, Stage, Tracer};
 use em_par::ParallelismConfig;
 
@@ -74,41 +76,40 @@ impl LimeExplainer {
         pair: &EntityPair,
         tracer: &dyn Tracer,
     ) -> PairExplanation {
-        let features: Vec<(EntitySide, Token)> = {
+        let (left_tokens, right_tokens) = {
             let _span = Span::enter(tracer, Stage::Tokenize);
-            let (left_tokens, right_tokens) = tokenize_pair(pair);
-            left_tokens
-                .into_iter()
-                .map(|t| (EntitySide::Left, t))
-                .chain(right_tokens.into_iter().map(|t| (EntitySide::Right, t)))
-                .collect()
+            tokenize_pair(pair)
         };
-        tracer.add(Counter::Features, features.len() as u64);
+        let n_features = left_tokens.len() + right_tokens.len();
+        tracer.add(Counter::Features, n_features as u64);
 
         let masks = {
             let _span = Span::enter(tracer, Stage::MaskSampling);
-            MaskSampler::new(self.config.seed).sample(features.len(), self.config.n_samples)
+            MaskSampler::new(self.config.seed).sample(n_features, self.config.n_samples)
         };
-        let reconstructed: Vec<EntityPair> = {
+        // LIME's mask layout is left tokens then right tokens — exactly the
+        // layout `PerturbSpec::TokenDrop` uses with two varying sides, so
+        // the prepared kernel scores each mask without materializing the
+        // reconstructed pair (bit-identical either way, DESIGN.md §11).
+        let spec = {
             let _span = Span::enter(tracer, Stage::PairReconstruction);
-            masks
-                .iter()
-                .map(|mask| reconstruct_pair(&features, mask, schema.len()))
-                .collect()
+            PerturbSpec::TokenDrop {
+                pair,
+                left: SideSpec::Varying(&left_tokens),
+                right: SideSpec::Varying(&right_tokens),
+            }
         };
-        let probs = model.par_predict_proba_batch_traced(
-            schema,
-            &reconstructed,
-            &self.config.parallelism,
-            tracer,
-        );
+        let probs =
+            model.par_score_masks_traced(schema, &spec, &masks, &self.config.parallelism, tracer);
         let fit = {
             let _span = Span::enter(tracer, Stage::SurrogateFit);
             fit_surrogate(&masks, &probs, &self.config.surrogate)
         };
 
-        let token_weights = features
+        let token_weights = left_tokens
             .into_iter()
+            .map(|t| (EntitySide::Left, t))
+            .chain(right_tokens.into_iter().map(|t| (EntitySide::Right, t)))
             .zip(&fit.coefficients)
             .map(|((side, token), &weight)| TokenWeight {
                 side,
@@ -128,13 +129,25 @@ impl LimeExplainer {
     }
 }
 
-/// Rebuilds an [`EntityPair`] from the kept tokens of a mask.
+/// Rebuilds an [`EntityPair`] from the kept tokens of a mask — the
+/// reference implementation the prepared kernel is checked against in
+/// tests (production scoring goes through `PerturbSpec::TokenDrop`).
+///
+/// # Panics
+/// Panics if `mask.len() != features.len()` — a real assert, because a
+/// short mask would silently truncate the perturbation via `zip` and keep
+/// every unmasked trailing token in release builds.
+#[cfg(test)]
 pub(crate) fn reconstruct_pair(
     features: &[(EntitySide, Token)],
     mask: &[bool],
     n_attributes: usize,
 ) -> EntityPair {
-    debug_assert_eq!(features.len(), mask.len());
+    assert_eq!(
+        features.len(),
+        mask.len(),
+        "perturbation mask length must equal the feature count"
+    );
     let mut left_kept: Vec<Token> = Vec::new();
     let mut right_kept: Vec<Token> = Vec::new();
     for ((side, token), &keep) in features.iter().zip(mask) {
@@ -271,6 +284,16 @@ mod tests {
         let p = reconstruct_pair(&features, &[true, false, true], 1);
         assert_eq!(p.left, Entity::new(vec!["a"]));
         assert_eq!(p.right, Entity::new(vec!["c"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length")]
+    fn short_mask_panics_instead_of_truncating() {
+        let features = vec![
+            (EntitySide::Left, Token::new(0, 0, "a")),
+            (EntitySide::Right, Token::new(0, 0, "b")),
+        ];
+        reconstruct_pair(&features, &[true], 1);
     }
 
     #[test]

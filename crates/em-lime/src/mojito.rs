@@ -9,7 +9,7 @@
 //! exactly what [`MojitoCopyExplainer`] does to produce a comparable
 //! [`PairExplanation`].
 
-use em_entity::{tokenize_entity, EntityPair, EntitySide, MatchModel, Schema};
+use em_entity::{tokenize_entity, EntityPair, EntitySide, MatchModel, PerturbSpec, Schema};
 use em_obs::{Counter, Span, Stage, Tracer};
 use em_par::ParallelismConfig;
 
@@ -94,29 +94,19 @@ impl MojitoCopyExplainer {
             let _span = Span::enter(tracer, Stage::MaskSampling);
             MaskSampler::new(self.config.seed).sample(d, self.config.n_samples)
         };
-        let source = self.config.copy_into.other();
-        let reconstructed: Vec<EntityPair> = {
+        // The copy perturbation is a pure function of the mask and the two
+        // original attribute values, so the prepared kernel can score each
+        // mask from per-attribute precomputed state instead of cloning the
+        // pair per sample (bit-identical either way, DESIGN.md §11).
+        let spec = {
             let _span = Span::enter(tracer, Stage::PairReconstruction);
-            masks
-                .iter()
-                .map(|mask| {
-                    let mut p = pair.clone();
-                    for (attr, &keep) in mask.iter().enumerate() {
-                        if !keep {
-                            let value = pair.entity(source).value(attr).to_string();
-                            p.entity_mut(self.config.copy_into).set_value(attr, value);
-                        }
-                    }
-                    p
-                })
-                .collect()
+            PerturbSpec::AttrCopy {
+                pair,
+                copy_into: self.config.copy_into,
+            }
         };
-        let probs = model.par_predict_proba_batch_traced(
-            schema,
-            &reconstructed,
-            &self.config.parallelism,
-            tracer,
-        );
+        let probs =
+            model.par_score_masks_traced(schema, &spec, &masks, &self.config.parallelism, tracer);
         let fit = {
             let _span = Span::enter(tracer, Stage::SurrogateFit);
             fit_surrogate(&masks, &probs, &self.config.surrogate)

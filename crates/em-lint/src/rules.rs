@@ -40,7 +40,18 @@ pub const RULE_NAMES: &[&str] = &[
 
 /// Crates whose output is user-visible or cached, where hash-iteration
 /// order would leak nondeterminism into results (ISSUE 3 / DESIGN.md §9).
-const OUTPUT_CRATES: &[&str] = &["core", "em-lime", "em-eval", "em-serve"];
+/// `em-text` and `em-matchers` joined when the prepared scoring kernel
+/// (DESIGN.md §11) moved probability computation into them: their f64
+/// accumulation order now IS the explanation output, so hash-ordered
+/// iteration there would break the kernel's bit-identity contract.
+const OUTPUT_CRATES: &[&str] = &[
+    "core",
+    "em-lime",
+    "em-eval",
+    "em-serve",
+    "em-text",
+    "em-matchers",
+];
 
 /// Crates allowed to read wall clocks: benchmarks time by definition,
 /// `em-serve` timestamps metrics/latency histograms (never seeds), and

@@ -1,0 +1,26 @@
+// Fixture (linted as crates/em-text/src/fixture.rs AND as
+// crates/em-matchers/src/fixture.rs): the similarity and kernel crates
+// became output-producing when the prepared scoring kernel moved
+// probability computation into them, so hash-ordered iteration is
+// flagged there exactly as in `core`.
+
+use std::collections::{HashMap, HashSet};
+
+/// Fixture function: summing TF-IDF weights in hash order would make the
+/// cosine's accumulation order process-seeded.
+pub fn weight_sum(weights: HashMap<String, f64>) -> f64 {
+    let weights: HashMap<String, f64> = weights;
+    let mut total = 0.0;
+    for w in weights.values() {
+        //~^ hashmap-iter-order
+        total += w;
+    }
+    total
+}
+
+/// Fixture function: collecting interned ids out of a set loses the
+/// sorted order the kernel's merge-joins rely on.
+pub fn collect_ids(ids: &[u32]) -> Vec<u32> {
+    let distinct: HashSet<u32> = ids.iter().copied().collect();
+    distinct.into_iter().collect() //~ hashmap-iter-order
+}

@@ -1,6 +1,6 @@
-// Fixture (linted as crates/em-text/src/fixture.rs): `em-text` computes
-// order-free similarity scores and is not an output-producing crate, so
-// the iteration-order rule does not apply here at all.
+// Fixture (linted as crates/em-par/src/fixture.rs): `em-par` only moves
+// closures onto threads and never produces user-visible values itself,
+// so the iteration-order rule does not apply here at all.
 
 use std::collections::HashMap;
 

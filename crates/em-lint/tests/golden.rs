@@ -43,7 +43,15 @@ const FIXTURES: &[(&str, &str)] = &[
     ),
     (
         "hashmap-iter-order/out_of_scope.rs",
+        "crates/em-par/src/fixture.rs",
+    ),
+    (
+        "hashmap-iter-order/kernel_crates.rs",
         "crates/em-text/src/fixture.rs",
+    ),
+    (
+        "hashmap-iter-order/kernel_crates.rs",
+        "crates/em-matchers/src/fixture.rs",
     ),
     (
         "wallclock-in-seeded-path/positive.rs",

@@ -77,9 +77,26 @@ impl FeatureExtractor {
         let lt_refs: Vec<&str> = lt.iter().map(String::as_str).collect();
         let rt_refs: Vec<&str> = rt.iter().map(String::as_str).collect();
         let jac = jaccard(&lt_refs, &rt_refs);
-        // TF-IDF dominates for long text; Jaccard stabilizes short values.
-        0.7 * tfidf + 0.3 * jac
+        combine_text(tfidf, jac)
     }
+
+    /// The fitted TF-IDF table, for the prepared kernel.
+    pub(crate) fn vectorizer(&self) -> &TfIdfVectorizer {
+        &self.vectorizer
+    }
+}
+
+/// Blends the two Text components. Shared verbatim by the naive extractor
+/// and the prepared kernel so both perform the identical f64 operations:
+/// TF-IDF dominates for long text; Jaccard stabilizes short values.
+pub(crate) fn combine_text(tfidf: f64, jac: f64) -> f64 {
+    0.7 * tfidf + 0.3 * jac
+}
+
+/// Blends the two Name components (shared with the prepared kernel, like
+/// [`combine_text`]).
+pub(crate) fn combine_name(jac: f64, me: f64) -> f64 {
+    0.6 * jac + 0.4 * me
 }
 
 /// Name attributes: token Jaccard blended with a typo-tolerant
@@ -91,7 +108,7 @@ fn name_similarity(left: &str, right: &str) -> f64 {
     let rt_refs: Vec<&str> = rt.iter().map(String::as_str).collect();
     let jac = jaccard(&lt_refs, &rt_refs);
     let me = monge_elkan_symmetric(&lt_refs, &rt_refs, jaro_winkler);
-    0.6 * jac + 0.4 * me
+    combine_name(jac, me)
 }
 
 /// Numeric attributes: relative numeric similarity when both sides parse,
@@ -103,8 +120,12 @@ fn numeric_kind_similarity(left: &str, right: &str) -> f64 {
 /// Code attributes: exact match dominates, with a small edit-distance
 /// component for near-misses.
 fn code_similarity(left: &str, right: &str) -> f64 {
-    let l = left.trim().to_lowercase();
-    let r = right.trim().to_lowercase();
+    code_similarity_norm(&left.trim().to_lowercase(), &right.trim().to_lowercase())
+}
+
+/// The core of [`code_similarity`] on already trimmed + lowercased values
+/// (the prepared kernel pre-normalizes once and calls this per mask).
+pub(crate) fn code_similarity_norm(l: &str, r: &str) -> f64 {
     if l.is_empty() && r.is_empty() {
         // Two missing codes carry no match evidence.
         return 0.0;
@@ -112,7 +133,7 @@ fn code_similarity(left: &str, right: &str) -> f64 {
     if l == r {
         return 1.0;
     }
-    0.8 * levenshtein_similarity(&l, &r)
+    0.8 * levenshtein_similarity(l, r)
 }
 
 #[cfg(test)]

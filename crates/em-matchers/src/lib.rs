@@ -23,6 +23,7 @@ pub mod importance;
 pub mod logistic_matcher;
 pub mod naive_bayes;
 pub mod persist;
+pub mod prepared;
 
 pub use baselines::{RuleMatcher, ThresholdMatcher};
 pub use evaluation::{evaluate_matcher, tune_threshold, MatchQuality};
@@ -30,6 +31,8 @@ pub use features::FeatureExtractor;
 pub use importance::{drop_column_importance, permutation_importance};
 pub use logistic_matcher::{LogisticMatcher, MatcherConfig};
 pub use naive_bayes::NaiveBayesMatcher;
+pub use prepared::{LogisticPreparedScorer, NaiveBayesPreparedScorer};
+
 pub use persist::{
     deserialize_logistic, load_logistic_file, save_logistic_file, serialize_logistic, PersistError,
     PersistFileError,

@@ -105,6 +105,16 @@ impl MatchModel for LogisticMatcher {
         let features = self.extractor.extract(schema, pair);
         self.model.predict_proba(&features)
     }
+
+    fn prepare_scorer<'a>(
+        &'a self,
+        schema: &'a Schema,
+        spec: &'a em_entity::PerturbSpec<'a>,
+    ) -> Box<dyn em_entity::PreparedScorer + 'a> {
+        Box::new(crate::prepared::LogisticPreparedScorer::new(
+            self, schema, spec,
+        ))
+    }
 }
 
 #[cfg(test)]

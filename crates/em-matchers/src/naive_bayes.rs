@@ -94,20 +94,10 @@ impl NaiveBayesMatcher {
         &self.extractor
     }
 
-    /// Per-attribute separation `|mean_match − mean_non| / sqrt(var)` — a
-    /// crude global attribute importance for this model family.
-    pub fn attribute_separation(&self) -> Vec<f64> {
-        self.match_params
-            .iter()
-            .zip(&self.non_params)
-            .map(|(m, n)| (m.mean - n.mean).abs() / ((m.var + n.var) / 2.0).sqrt())
-            .collect()
-    }
-}
-
-impl MatchModel for NaiveBayesMatcher {
-    fn predict_proba(&self, schema: &Schema, pair: &EntityPair) -> f64 {
-        let features = self.extractor.extract(schema, pair);
+    /// The Gaussian NB posterior for an already-extracted feature vector.
+    /// Shared by [`MatchModel::predict_proba`] and the prepared kernel so
+    /// both heads perform the identical f64 operations.
+    pub(crate) fn posterior_from_features(&self, features: &[f64]) -> f64 {
         let mut log_match = self.log_prior_match;
         let mut log_non = self.log_prior_non;
         for ((x, m), n) in features
@@ -123,6 +113,32 @@ impl MatchModel for NaiveBayesMatcher {
         let em = (log_match - max).exp();
         let en = (log_non - max).exp();
         em / (em + en)
+    }
+
+    /// Per-attribute separation `|mean_match − mean_non| / sqrt(var)` — a
+    /// crude global attribute importance for this model family.
+    pub fn attribute_separation(&self) -> Vec<f64> {
+        self.match_params
+            .iter()
+            .zip(&self.non_params)
+            .map(|(m, n)| (m.mean - n.mean).abs() / ((m.var + n.var) / 2.0).sqrt())
+            .collect()
+    }
+}
+
+impl MatchModel for NaiveBayesMatcher {
+    fn predict_proba(&self, schema: &Schema, pair: &EntityPair) -> f64 {
+        self.posterior_from_features(&self.extractor.extract(schema, pair))
+    }
+
+    fn prepare_scorer<'a>(
+        &'a self,
+        schema: &'a Schema,
+        spec: &'a em_entity::PerturbSpec<'a>,
+    ) -> Box<dyn em_entity::PreparedScorer + 'a> {
+        Box::new(crate::prepared::NaiveBayesPreparedScorer::new(
+            self, schema, spec,
+        ))
     }
 }
 

@@ -150,6 +150,69 @@ where
     results.into_iter().flatten().collect()
 }
 
+/// Ordered parallel map with per-worker state: like [`par_map`], but each
+/// worker first builds a private state value with `init()` and every
+/// `f(&mut state, i, &items[i])` call on that worker reuses it.
+///
+/// This is the shape the prepared scoring kernel needs: `init` builds a
+/// scorer (precomputed per-record state + scratch buffers) once per
+/// worker, and `f` scores one mask with it. The state never crosses a
+/// thread boundary — it is created and dropped inside the worker — so `S`
+/// needs no `Send` bound.
+///
+/// Determinism contract: results must depend only on `(index, item)`,
+/// never on which worker's state instance scored them or in what order.
+/// `init` must therefore produce interchangeable states (same inputs →
+/// same outputs, with any interior mutation limited to scratch space).
+/// Under that contract the result equals the serial
+/// `items.iter().enumerate().map(|(i, x)| f(&mut init(), i, x))` for any
+/// thread count, bit for bit.
+pub fn par_map_init<T, R, S, I, F>(config: &ParallelismConfig, items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let workers = config.effective_threads(items.len());
+    if workers <= 1 {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| f(&mut state, i, x))
+            .collect();
+    }
+
+    let base = items.len() / workers;
+    let extra = items.len() % workers;
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut start = 0;
+        let init = &init;
+        let f = &f;
+        for w in 0..workers {
+            let len = base + usize::from(w < extra);
+            let chunk = &items[start..start + len];
+            let offset = start;
+            handles.push(scope.spawn(move || {
+                let mut state = init();
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, x)| f(&mut state, offset + i, x))
+                    .collect::<Vec<R>>()
+            }));
+            start += len;
+        }
+        for handle in handles {
+            results.push(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
 /// Ordered parallel flat-map: like [`par_map`] but each call may yield any
 /// number of results, concatenated in input order. Used when one record
 /// expands into several explanation views.
@@ -300,6 +363,51 @@ mod tests {
     #[should_panic(expected = "scoped worker panicked")]
     fn scoped_worker_panic_propagates() {
         scoped_workers(2, |w| assert_ne!(w, 1, "boom"), || ());
+    }
+
+    #[test]
+    fn par_map_init_matches_serial_for_any_thread_count() {
+        use std::cell::Cell;
+        let items: Vec<u64> = (0..500).collect();
+        // State is a scratch counter: results must not depend on it.
+        let run = |threads: usize| {
+            par_map_init(
+                &ParallelismConfig::with_threads(threads),
+                &items,
+                || Cell::new(0u64),
+                |scratch, i, x| {
+                    scratch.set(scratch.get() + 1);
+                    x * 7 + i as u64
+                },
+            )
+        };
+        let serial = run(1);
+        let expected: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x * 7 + i as u64)
+            .collect();
+        assert_eq!(serial, expected);
+        for threads in [2, 3, 4, 7, 16] {
+            assert_eq!(run(threads), serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_init_builds_one_state_per_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..40).collect();
+        let cfg = ParallelismConfig::with_threads(4);
+        let _ = par_map_init(
+            &cfg,
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+            },
+            |(), i, _| i,
+        );
+        assert_eq!(inits.load(Ordering::Relaxed), 4);
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Order-preserving token interning for the prepared scoring kernel.
+//!
+//! The prepared-pair kernel (DESIGN.md §11) compares token multisets many
+//! thousands of times per explained record. Comparing `u32` ids is much
+//! cheaper than comparing strings, but only safe for *bit-identical*
+//! reproduction of the naive path if the id order matches the string
+//! order the naive path sorts by. [`Interner`] therefore assigns ids in
+//! byte-lexicographic order of the interned strings: for any two interned
+//! tokens `a` and `b`, `id(a) < id(b)` iff `a < b` as `str`. Sorting ids
+//! is then exactly sorting strings, so merge-joins over sorted id lists
+//! visit entries in the same order (and accumulate floating-point sums in
+//! the same order) as merge-joins over sorted string lists.
+
+/// An immutable string-to-id table whose ids ascend in byte-lexicographic
+/// string order.
+///
+/// Built once per prepared pair from the union of both records' normalized
+/// tokens; lookups are binary searches over the sorted table.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// Builds an interner from an arbitrary collection of tokens
+    /// (duplicates are fine; they are deduplicated here).
+    pub fn from_tokens<S: AsRef<str>, I: IntoIterator<Item = S>>(tokens: I) -> Self {
+        let mut strings: Vec<String> = tokens.into_iter().map(|s| s.as_ref().to_string()).collect();
+        strings.sort_unstable();
+        strings.dedup();
+        Self { strings }
+    }
+
+    /// Id of a token, or `None` if it was not interned.
+    pub fn id(&self, token: &str) -> Option<u32> {
+        self.strings
+            .binary_search_by(|s| s.as_str().cmp(token))
+            .ok()
+            .map(|i| i as u32)
+    }
+
+    /// The string for an id. Panics if the id is out of range.
+    pub fn get(&self, id: u32) -> &str {
+        &self.strings[id as usize]
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_follow_lexicographic_order() {
+        let i = Interner::from_tokens(["zoom", "alpha", "camera", "alpha"]);
+        assert_eq!(i.len(), 3);
+        let a = i.id("alpha").unwrap();
+        let c = i.id("camera").unwrap();
+        let z = i.id("zoom").unwrap();
+        assert!(a < c && c < z);
+        assert_eq!(i.get(a), "alpha");
+        assert_eq!(i.get(z), "zoom");
+    }
+
+    #[test]
+    fn missing_tokens_return_none() {
+        let i = Interner::from_tokens(["sony"]);
+        assert_eq!(i.id("nikon"), None);
+    }
+
+    #[test]
+    fn id_order_matches_string_order_for_all_pairs() {
+        let toks = ["b", "aa", "a", "ba", "ab", "z", "10.2", "0"];
+        let i = Interner::from_tokens(toks);
+        for x in &toks {
+            for y in &toks {
+                let (ix, iy) = (i.id(x).unwrap(), i.id(y).unwrap());
+                assert_eq!(ix.cmp(&iy), x.cmp(y), "{x} vs {y}");
+            }
+        }
+    }
+}

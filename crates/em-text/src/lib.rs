@@ -16,6 +16,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod alignment;
+pub mod intern;
 pub mod jaro;
 pub mod levenshtein;
 pub mod monge_elkan;
@@ -27,12 +28,13 @@ pub mod token_sets;
 pub mod tokens;
 
 pub use alignment::{smith_waterman, smith_waterman_similarity, AlignmentScoring};
+pub use intern::Interner;
 pub use jaro::{jaro, jaro_winkler};
 pub use levenshtein::{levenshtein, levenshtein_similarity};
 pub use monge_elkan::monge_elkan;
-pub use numeric::{numeric_similarity, parse_number};
+pub use numeric::{numeric_similarity, numeric_value_similarity, parse_number};
 pub use phonetic::{soundex, soundex_similarity};
 pub use qgram::{qgram_cosine, QgramProfile};
-pub use tfidf::{TfIdfVectorizer, TfIdfVectorizerBuilder};
+pub use tfidf::{cosine_prepared, PreparedDoc, TfIdfVectorizer, TfIdfVectorizerBuilder};
 pub use token_sets::{dice, jaccard, overlap_coefficient};
 pub use tokens::{normalize, whitespace_tokens};

@@ -35,11 +35,17 @@ pub fn parse_number(s: &str) -> Option<f64> {
 pub fn numeric_similarity(a: &str, b: &str) -> Option<f64> {
     let x = parse_number(a)?;
     let y = parse_number(b)?;
+    Some(numeric_value_similarity(x, y))
+}
+
+/// The value-level core of [`numeric_similarity`], for callers (like the
+/// prepared kernel) that have already parsed both numbers.
+pub fn numeric_value_similarity(x: f64, y: f64) -> f64 {
     let denom = x.abs().max(y.abs());
     if denom == 0.0 {
-        return Some(1.0);
+        return 1.0;
     }
-    Some((1.0 - (x - y).abs() / denom).max(0.0))
+    (1.0 - (x - y).abs() / denom).max(0.0)
 }
 
 #[cfg(test)]

@@ -1,12 +1,14 @@
 //! Character q-gram profiles and cosine similarity over them.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-/// A bag of character q-grams with counts.
+/// A bag of character q-grams with counts, stored in a sorted map so
+/// cosine accumulation order (and thus the exact f64 result) is
+/// deterministic across runs.
 #[derive(Debug, Clone)]
 pub struct QgramProfile {
     q: usize,
-    counts: HashMap<String, u32>,
+    counts: BTreeMap<String, u32>,
 }
 
 impl QgramProfile {
@@ -14,7 +16,7 @@ impl QgramProfile {
     /// that boundary characters contribute (standard padding scheme).
     pub fn new(s: &str, q: usize) -> Self {
         assert!(q >= 1, "q must be at least 1");
-        let mut counts = HashMap::new();
+        let mut counts = BTreeMap::new();
         let padded: Vec<char> = std::iter::repeat_n('#', q - 1)
             .chain(s.chars())
             .chain(std::iter::repeat_n('#', q - 1))

@@ -1,0 +1,77 @@
+//! Durable file commits: write-to-tmp, fsync, atomic rename.
+//!
+//! Every file the pipeline publishes (shard outputs, plan, summary)
+//! appears atomically: readers — including a resumed run — either see the
+//! complete previous content or the complete new content, never a torn
+//! write. The tmp file lives in the same directory as its target so the
+//! rename stays within one filesystem. Directory fsync after rename is
+//! best-effort: on filesystems where it fails the rename is still atomic,
+//! only its durability after power loss is weaker, and the manifest (the
+//! source of truth for completion) does its own sync.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// The tmp-file path a commit of `path` stages through.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Writes `bytes` to `path` and fsyncs the file (no rename — the caller
+/// controls when the data becomes visible).
+pub fn write_sync(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(bytes)?;
+    file.sync_all()
+}
+
+/// Renames `tmp` onto `dst` and best-effort-fsyncs the parent directory
+/// so the rename itself is durable.
+pub fn rename_durable(tmp: &Path, dst: &Path) -> std::io::Result<()> {
+    std::fs::rename(tmp, dst)?;
+    if let Some(parent) = dst.parent() {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Full atomic commit: stage `bytes` in the tmp file, fsync, rename into
+/// place.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = tmp_path(path);
+    write_sync(&tmp, bytes)?;
+    rename_durable(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("em-batch-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn tmp_path_appends_suffix() {
+        assert_eq!(
+            tmp_path(Path::new("/x/shard-0.jsonl")),
+            PathBuf::from("/x/shard-0.jsonl.tmp")
+        );
+    }
+
+    #[test]
+    fn write_atomic_replaces_content_and_removes_tmp() {
+        let path = scratch("commit.txt");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        assert!(!tmp_path(&path).exists());
+    }
+}

@@ -1,0 +1,89 @@
+//! Pipeline error type and process exit codes.
+
+use crate::failpoint::FailSite;
+use em_entity::CsvError;
+
+/// Everything that can stop a batch run.
+#[derive(Debug)]
+pub enum BatchError {
+    /// A filesystem operation failed; `path` names the file involved.
+    Io {
+        /// The file or directory the operation touched.
+        path: String,
+        /// The underlying error message.
+        error: String,
+    },
+    /// The input CSV failed to parse.
+    Csv(CsvError),
+    /// The plan file is missing, malformed, or inconsistent with the run
+    /// directory state.
+    Plan(String),
+    /// The manifest is corrupt beyond the tolerated torn final line.
+    Manifest(String),
+    /// The input file no longer matches the hash recorded at plan time —
+    /// running against it would silently break the determinism contract.
+    InputChanged {
+        /// Hash recorded in the plan.
+        expected: String,
+        /// Hash of the file on disk now.
+        actual: String,
+    },
+    /// The persisted model failed to load.
+    Model(String),
+    /// An injected failpoint fired (tests and the CI kill/resume smoke
+    /// job). The CLI maps this to exit code 3 so scripts can tell a
+    /// deliberate crash from a real failure.
+    Failpoint {
+        /// Which commit-protocol site fired.
+        site: FailSite,
+        /// The shard being committed.
+        shard: usize,
+    },
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::Io { path, error } => write!(f, "{path}: {error}"),
+            BatchError::Csv(e) => write!(f, "input csv: {e}"),
+            BatchError::Plan(msg) => write!(f, "plan: {msg}"),
+            BatchError::Manifest(msg) => write!(f, "manifest: {msg}"),
+            BatchError::InputChanged { expected, actual } => write!(
+                f,
+                "input file changed since plan time (expected {expected}, found {actual}); \
+                 re-run `em-batch plan`"
+            ),
+            BatchError::Model(msg) => write!(f, "model: {msg}"),
+            BatchError::Failpoint { site, shard } => {
+                write!(f, "failpoint {} fired on shard {shard}", site.name())
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+impl From<CsvError> for BatchError {
+    fn from(e: CsvError) -> Self {
+        BatchError::Csv(e)
+    }
+}
+
+impl BatchError {
+    /// Wraps an I/O error with the path it concerned.
+    pub fn io(path: &std::path::Path, error: std::io::Error) -> Self {
+        BatchError::Io {
+            path: path.display().to_string(),
+            error: error.to_string(),
+        }
+    }
+
+    /// The process exit code the CLI uses for this error: `3` for a
+    /// deliberate failpoint crash, `2` for everything else.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            BatchError::Failpoint { .. } => 3,
+            _ => 2,
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Append-only, crash-safe completion manifest.
+//!
+//! One JSON line per committed shard: `{"shard":N,"records":N,"hash":…}`.
+//! An entry is appended (and fsynced) only *after* the shard file is
+//! atomically in place, so manifest-says-done implies file-is-complete.
+//! The converse doesn't hold — a crash between rename and append leaves a
+//! complete shard file with no entry — and resume handles that by simply
+//! recomputing the shard, which rewrites identical bytes.
+//!
+//! Crash tolerance on load: a torn final line (the only kind of tear an
+//! append-only file can have) is detected and **truncated away** before
+//! the run continues, so a resumed manifest ends up byte-identical to an
+//! uninterrupted one. A torn line anywhere else, or two entries for the
+//! same shard that disagree, means outside interference and is a hard
+//! error.
+
+use std::io::Write;
+use std::path::Path;
+
+use em_codec::json::Value;
+
+use crate::error::BatchError;
+
+/// One committed shard, as recorded in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Shard id.
+    pub shard: usize,
+    /// Number of record lines in the shard file.
+    pub records: usize,
+    /// Content hash of the shard file bytes (`fnv1a64:…`).
+    pub hash: String,
+}
+
+impl ManifestEntry {
+    /// The manifest line for this entry, newline-terminated.
+    pub fn to_line(&self) -> String {
+        let mut line = Value::object(vec![
+            ("shard", self.shard.into()),
+            ("records", self.records.into()),
+            ("hash", Value::string(self.hash.as_str())),
+        ])
+        .to_json();
+        line.push('\n');
+        line
+    }
+
+    /// Parses one manifest line.
+    pub fn parse(line: &str) -> Option<ManifestEntry> {
+        let root = Value::parse(line).ok()?;
+        Some(ManifestEntry {
+            shard: root.get("shard")?.as_u64()? as usize,
+            records: root.get("records")?.as_u64()? as usize,
+            hash: root.get("hash")?.as_str()?.to_string(),
+        })
+    }
+}
+
+/// Loads the manifest, repairing a torn final line by truncating it.
+///
+/// Returns the entries in file order. A missing file is an empty
+/// manifest. Identical duplicate entries collapse to one; conflicting
+/// duplicates are a [`BatchError::Manifest`].
+pub fn load_and_repair(path: &Path) -> Result<Vec<ManifestEntry>, BatchError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(BatchError::io(path, e)),
+    };
+    let text = String::from_utf8_lossy(&bytes);
+    let mut entries: Vec<ManifestEntry> = Vec::new();
+    let mut keep_bytes = 0usize;
+    let mut offset = 0usize;
+    for piece in text.split_inclusive('\n') {
+        let complete = piece.ends_with('\n');
+        match ManifestEntry::parse(piece.trim_end_matches(['\n', '\r'])) {
+            Some(entry) if complete => {
+                if let Some(prev) = entries.iter().find(|e| e.shard == entry.shard) {
+                    if *prev != entry {
+                        return Err(BatchError::Manifest(format!(
+                            "conflicting entries for shard {}",
+                            entry.shard
+                        )));
+                    }
+                    // Identical duplicate: tolerated on load, but keep the
+                    // file as-is; the runner never produces one.
+                } else {
+                    entries.push(entry);
+                }
+                offset += piece.len();
+                keep_bytes = offset;
+            }
+            _ if !complete => {
+                // Torn final append: drop it from the file so the healed
+                // manifest matches an uninterrupted run byte for byte.
+                break;
+            }
+            _ => {
+                return Err(BatchError::Manifest(format!(
+                    "unparseable entry at byte {offset}: {:?}",
+                    piece.trim_end()
+                )));
+            }
+        }
+    }
+    if keep_bytes < bytes.len() {
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| BatchError::io(path, e))?;
+        file.set_len(keep_bytes as u64)
+            .map_err(|e| BatchError::io(path, e))?;
+        file.sync_all().map_err(|e| BatchError::io(path, e))?;
+    }
+    Ok(entries)
+}
+
+/// Appends one entry durably: write, flush, fsync. After this returns the
+/// shard's completion survives any crash.
+pub fn append(path: &Path, entry: &ManifestEntry) -> Result<(), BatchError> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| BatchError::io(path, e))?;
+    file.write_all(entry.to_line().as_bytes())
+        .map_err(|e| BatchError::io(path, e))?;
+    file.flush().map_err(|e| BatchError::io(path, e))?;
+    file.sync_all().map_err(|e| BatchError::io(path, e))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("em-batch-manifest-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("manifest.jsonl")
+    }
+
+    fn entry(shard: usize) -> ManifestEntry {
+        ManifestEntry {
+            shard,
+            records: 10 + shard,
+            hash: format!("fnv1a64:{shard:016x}"),
+        }
+    }
+
+    #[test]
+    fn lines_roundtrip() {
+        let e = entry(3);
+        assert_eq!(ManifestEntry::parse(e.to_line().trim_end()), Some(e));
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let path = scratch("missing");
+        assert_eq!(load_and_repair(&path).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn append_then_load_preserves_order() {
+        let path = scratch("order");
+        for s in 0..3 {
+            append(&path, &entry(s)).unwrap();
+        }
+        let loaded = load_and_repair(&path).unwrap();
+        assert_eq!(loaded, vec![entry(0), entry(1), entry(2)]);
+    }
+
+    #[test]
+    fn torn_final_line_is_truncated_away() {
+        let path = scratch("torn");
+        append(&path, &entry(0)).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        let mut torn = full.clone();
+        torn.extend_from_slice(&entry(1).to_line().as_bytes()[..9]);
+        std::fs::write(&path, &torn).unwrap();
+
+        assert_eq!(load_and_repair(&path).unwrap(), vec![entry(0)]);
+        // The repair physically removed the torn bytes.
+        assert_eq!(std::fs::read(&path).unwrap(), full);
+    }
+
+    #[test]
+    fn torn_line_then_reappend_matches_uninterrupted_bytes() {
+        let uninterrupted = scratch("ref");
+        append(&uninterrupted, &entry(0)).unwrap();
+        append(&uninterrupted, &entry(1)).unwrap();
+
+        let crashed = scratch("crashed");
+        append(&crashed, &entry(0)).unwrap();
+        let mut bytes = std::fs::read(&crashed).unwrap();
+        bytes.extend_from_slice(&entry(1).to_line().as_bytes()[..5]);
+        std::fs::write(&crashed, &bytes).unwrap();
+        let _ = load_and_repair(&crashed).unwrap();
+        append(&crashed, &entry(1)).unwrap();
+
+        assert_eq!(
+            std::fs::read(&crashed).unwrap(),
+            std::fs::read(&uninterrupted).unwrap()
+        );
+    }
+
+    #[test]
+    fn conflicting_duplicate_is_an_error() {
+        let path = scratch("conflict");
+        append(&path, &entry(0)).unwrap();
+        let mut other = entry(0);
+        other.hash = "fnv1a64:ffffffffffffffff".into();
+        append(&path, &other).unwrap();
+        assert!(matches!(
+            load_and_repair(&path),
+            Err(BatchError::Manifest(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_in_the_middle_is_an_error() {
+        let path = scratch("garbage");
+        append(&path, &entry(0)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"not json\n");
+        std::fs::write(&path, &bytes).unwrap();
+        append(&path, &entry(1)).unwrap();
+        assert!(matches!(
+            load_and_repair(&path),
+            Err(BatchError::Manifest(_))
+        ));
+    }
+}

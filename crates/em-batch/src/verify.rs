@@ -1,0 +1,97 @@
+//! `em-batch verify`: audit a run directory against its manifest.
+//!
+//! Recomputes every committed shard file's content hash and checks it
+//! against the manifest, checks line counts against the planned shard
+//! ranges, and reports shards that are planned but not yet committed.
+//! Verification is read-only.
+
+use std::path::Path;
+
+use crate::error::BatchError;
+use crate::hash;
+use crate::manifest;
+use crate::plan::{RunPlan, MANIFEST_FILE};
+
+/// The result of auditing a run directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Shards whose file exists and matches its manifest entry.
+    pub shards_ok: usize,
+    /// Planned shards with no manifest entry yet (an incomplete run is
+    /// not corrupt — it just needs `resume`).
+    pub shards_pending: Vec<usize>,
+    /// Integrity violations: hash mismatches, wrong line counts, missing
+    /// files. Empty means every committed shard checks out.
+    pub problems: Vec<String>,
+}
+
+impl VerifyReport {
+    /// `true` when every committed shard is intact *and* the run is
+    /// complete.
+    pub fn is_complete_and_ok(&self) -> bool {
+        self.problems.is_empty() && self.shards_pending.is_empty()
+    }
+}
+
+/// Audits `run_dir`. Errors only on unreadable plan/manifest; integrity
+/// findings land in the report.
+pub fn verify_run(run_dir: &Path) -> Result<VerifyReport, BatchError> {
+    let plan = RunPlan::load(run_dir)?;
+    let entries = manifest::load_and_repair(&run_dir.join(MANIFEST_FILE))?;
+
+    let mut report = VerifyReport {
+        shards_ok: 0,
+        shards_pending: Vec::new(),
+        problems: Vec::new(),
+    };
+    for shard in 0..plan.shards {
+        let Some(entry) = entries.iter().find(|e| e.shard == shard) else {
+            report.shards_pending.push(shard);
+            continue;
+        };
+        let expected_records = plan.shard_range(shard).len();
+        if entry.records != expected_records {
+            report.problems.push(format!(
+                "shard {shard}: manifest says {} records, plan range has {expected_records}",
+                entry.records
+            ));
+            continue;
+        }
+        let path = plan.shard_path(run_dir, shard);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                report
+                    .problems
+                    .push(format!("shard {shard}: {}: {e}", path.display()));
+                continue;
+            }
+        };
+        let actual_hash = hash::content_hash(&bytes);
+        if actual_hash != entry.hash {
+            report.problems.push(format!(
+                "shard {shard}: content hash {actual_hash} does not match manifest {}",
+                entry.hash
+            ));
+            continue;
+        }
+        let lines = bytes.iter().filter(|&&b| b == b'\n').count();
+        if lines != entry.records {
+            report.problems.push(format!(
+                "shard {shard}: file has {lines} lines, manifest says {} records",
+                entry.records
+            ));
+            continue;
+        }
+        report.shards_ok += 1;
+    }
+    for entry in &entries {
+        if entry.shard >= plan.shards {
+            report.problems.push(format!(
+                "manifest entry for shard {} but plan has only {} shards",
+                entry.shard, plan.shards
+            ));
+        }
+    }
+    Ok(report)
+}

@@ -1,0 +1,135 @@
+//! Cross-crate byte-equality: a record's `response` field in the batch
+//! output must be **byte-identical** to what `em-serve` returns over HTTP
+//! for the same pair, explainer, and seed. Both paths run through
+//! `em_codec::explain::run_explain_traced` and the shared
+//! shortest-roundtrip JSON writer, so this holds by construction — the
+//! test pins the contract across the crate boundary, including the wire.
+
+use std::path::{Path, PathBuf};
+
+use em_batch::{execute, plan, NoFailpoints, PlanConfig, RunMode};
+use em_codec::explain::ExplainerKind;
+use em_codec::json::Value;
+use em_datagen::{DatasetId, MagellanBenchmark};
+use em_entity::{dataset_to_csv, EmDataset};
+use em_matchers::{load_logistic_file, FeatureExtractor, LogisticMatcher};
+use em_par::ParallelismConfig;
+use em_serve::{client, ExplainOptions, Server, ServerConfig};
+
+const N_RECORDS: usize = 4;
+const N_SAMPLES: usize = 16;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("em-batch-serve-eq-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn write_input(dir: &Path) -> PathBuf {
+    let full = MagellanBenchmark::scaled(0.05).generate(DatasetId::SFz);
+    let small = EmDataset::new(
+        full.name(),
+        full.schema().clone(),
+        full.records()[..N_RECORDS].to_vec(),
+    );
+    let path = dir.join("input.csv");
+    std::fs::write(&path, dataset_to_csv(&small)).expect("write input");
+    path
+}
+
+/// Builds the `POST /explain` body that replays one batch record: same
+/// pair (as recorded in the line), same explainer, same per-record seed.
+fn replay_body(line: &Value, explainer: &str) -> String {
+    let seed = line
+        .get("seed")
+        .and_then(Value::as_u64)
+        .expect("seed field");
+    Value::object(vec![
+        ("pair", line.get("pair").expect("pair field").clone()),
+        ("explainer", Value::string(explainer)),
+        (
+            "config",
+            Value::object(vec![
+                ("n_samples", N_SAMPLES.into()),
+                ("seed", Value::Number(seed as f64)),
+            ]),
+        ),
+    ])
+    .to_json()
+}
+
+#[test]
+fn batch_response_bytes_equal_served_response_bytes() {
+    let dir = scratch("main");
+    let input = write_input(&dir);
+    let run_dir = dir.join("run");
+
+    // Batch side: plan + run.
+    let config = PlanConfig {
+        shards: 2,
+        seed: 99,
+        explainer: ExplainerKind::Landmark,
+        n_samples: N_SAMPLES,
+        threads: 2,
+    };
+    let batch_plan = plan::create_plan(&input, &run_dir, &config).unwrap();
+    execute(
+        &run_dir,
+        RunMode::Fresh,
+        None,
+        &NoFailpoints,
+        em_obs::noop(),
+    )
+    .unwrap();
+
+    // Server side: the *same* persisted model the batch run used.
+    let dataset = plan::read_input(&input).unwrap();
+    let schema = dataset.schema().clone();
+    let model = load_logistic_file(&run_dir.join(plan::MODEL_FILE), &schema).unwrap();
+    let matcher = LogisticMatcher::from_parts(FeatureExtractor::fit(&dataset), model);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        schema,
+        Box::new(matcher),
+        ServerConfig {
+            parallelism: ParallelismConfig::serial(),
+            defaults: ExplainOptions::default(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let handle = server.spawn();
+    let addr = handle.addr();
+
+    // Replay every batch record against the server and compare bytes.
+    let mut compared = 0;
+    for shard in 0..batch_plan.shards {
+        let text = std::fs::read_to_string(batch_plan.shard_path(&run_dir, shard)).unwrap();
+        for raw_line in text.lines() {
+            let line = Value::parse(raw_line).unwrap();
+            // The shared writer is canonical: re-serializing the parsed
+            // `response` reproduces the exact bytes the batch run wrote.
+            let batch_bytes = line.get("response").unwrap().to_json();
+
+            let served = client::request(
+                addr,
+                "POST",
+                "/explain",
+                &replay_body(&line, batch_plan.explainer.name()),
+            )
+            .unwrap();
+            assert_eq!(served.status, 200, "{}", served.body);
+            assert_eq!(
+                served.body, batch_bytes,
+                "served response differs from batch record (shard {shard})"
+            );
+            compared += 1;
+        }
+    }
+    assert_eq!(compared, N_RECORDS);
+
+    let bye = client::request(addr, "POST", "/shutdown", "").unwrap();
+    assert_eq!(bye.status, 200);
+    handle.join();
+}

@@ -18,6 +18,7 @@ use crate::dataset::EmDataset;
 use crate::entity::Entity;
 use crate::pair::{EntityPair, LabeledPair};
 use crate::schema::Schema;
+use std::io::BufRead;
 
 /// Errors from CSV import.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +49,8 @@ pub enum CsvError {
     },
     /// A quoted field was never closed.
     UnterminatedQuote,
+    /// The underlying reader failed (streaming import only).
+    Io(String),
 }
 
 impl std::fmt::Display for CsvError {
@@ -66,6 +69,7 @@ impl std::fmt::Display for CsvError {
             }
             CsvError::BadLabel { row, value } => write!(f, "row {row}: bad label {value:?}"),
             CsvError::UnterminatedQuote => write!(f, "unterminated quoted field"),
+            CsvError::Io(e) => write!(f, "read error: {e}"),
         }
     }
 }
@@ -122,6 +126,84 @@ pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
     Ok(records)
 }
 
+/// Streaming iterator over CSV records read from any [`BufRead`] source.
+///
+/// Yields one `Vec<String>` of fields per record without ever holding the
+/// whole input in memory at once. Physical lines are accumulated until the
+/// running count of `"` characters is even — an odd count means a quoted
+/// field spans the newline — then the completed record is parsed with the
+/// same state machine as [`parse_csv`], so quoting semantics (including
+/// CRLF endings and a final record with no trailing newline) are identical
+/// to the in-memory path.
+pub struct CsvRecords<R: BufRead> {
+    reader: R,
+    done: bool,
+}
+
+impl<R: BufRead> std::fmt::Debug for CsvRecords<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CsvRecords")
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+impl<R: BufRead> CsvRecords<R> {
+    /// Wraps a buffered reader for record-by-record iteration.
+    pub fn new(reader: R) -> Self {
+        CsvRecords {
+            reader,
+            done: false,
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for CsvRecords<R> {
+    type Item = Result<Vec<String>, CsvError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mut buf = String::new();
+        let mut quotes = 0usize;
+        loop {
+            let before = buf.len();
+            match self.reader.read_line(&mut buf) {
+                Ok(0) => {
+                    self.done = true;
+                    if buf.is_empty() {
+                        return None;
+                    }
+                    if quotes % 2 == 1 {
+                        return Some(Err(CsvError::UnterminatedQuote));
+                    }
+                    break;
+                }
+                Ok(_) => {
+                    quotes += buf[before..].bytes().filter(|&b| b == b'"').count();
+                    if quotes.is_multiple_of(2) {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(CsvError::Io(e.to_string())));
+                }
+            }
+        }
+        match parse_csv(&buf) {
+            // `buf` is non-empty with balanced quotes, so the state machine
+            // always produces exactly one record.
+            Ok(mut rows) => rows.pop().map(Ok),
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
 /// Quotes a field if needed and appends it to `out`.
 fn write_field(out: &mut String, field: &str) {
     if field.contains(',') || field.contains('"') || field.contains('\n') {
@@ -140,7 +222,26 @@ fn write_field(out: &mut String, field: &str) {
 /// columns (e.g. `id`) are ignored. Labels accept `0/1`, `true/false`
 /// (any case).
 pub fn dataset_from_csv(name: &str, text: &str) -> Result<EmDataset, CsvError> {
-    let rows = parse_csv(text)?;
+    dataset_from_records(name, &parse_csv(text)?)
+}
+
+/// Parses an EM dataset from a buffered reader, streaming record by record.
+///
+/// Same layout requirements as [`dataset_from_csv`]; this entry point
+/// avoids materializing the whole file as one string, which matters for
+/// the batch pipeline's large Magellan-style inputs. Reader failures
+/// (including invalid UTF-8) surface as [`CsvError::Io`].
+pub fn dataset_from_reader<R: BufRead>(name: &str, reader: R) -> Result<EmDataset, CsvError> {
+    let mut rows = Vec::new();
+    for record in CsvRecords::new(reader) {
+        rows.push(record?);
+    }
+    dataset_from_records(name, &rows)
+}
+
+/// Shared core of the in-memory and streaming imports: interprets parsed
+/// records (header + data rows) as a Magellan-style labeled pair dataset.
+fn dataset_from_records(name: &str, rows: &[Vec<String>]) -> Result<EmDataset, CsvError> {
     let Some((header, data)) = rows.split_first() else {
         return Err(CsvError::MissingHeader);
     };
@@ -359,6 +460,72 @@ mod tests {
         let d = dataset_from_csv("t", csv).unwrap();
         assert!(d.records()[0].label);
         assert!(!d.records()[1].label);
+    }
+
+    #[test]
+    fn reader_matches_in_memory_parse() {
+        let d = dataset_from_reader("t", SIMPLE.as_bytes()).unwrap();
+        let e = dataset_from_csv("t", SIMPLE).unwrap();
+        assert_eq!(d.records(), e.records());
+        assert_eq!(d.schema(), e.schema());
+    }
+
+    #[test]
+    fn reader_handles_crlf_line_endings() {
+        let csv = "label,left_a,right_a\r\n1,x,y\r\n0,u,v\r\n";
+        let d = dataset_from_reader("t", csv.as_bytes()).unwrap();
+        assert_eq!(d.len(), 2);
+        assert!(d.records()[0].label);
+        assert_eq!(d.records()[1].pair.right.value(0), "v");
+    }
+
+    #[test]
+    fn reader_handles_final_record_without_trailing_newline() {
+        let csv = "label,left_a,right_a\n1,x,y\n0,last,field";
+        let d = dataset_from_reader("t", csv.as_bytes()).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.records()[1].pair.left.value(0), "last");
+        assert_eq!(d.records()[1].pair.right.value(0), "field");
+    }
+
+    #[test]
+    fn reader_streams_quoted_newlines_across_lines() {
+        let csv = "label,left_a,right_a\n0,\"line1\nline2\",x\n";
+        let d = dataset_from_reader("t", csv.as_bytes()).unwrap();
+        assert_eq!(d.records()[0].pair.left.value(0), "line1\nline2");
+    }
+
+    #[test]
+    fn reader_reports_unterminated_quote_at_eof() {
+        let csv = "label,left_a,right_a\n0,\"open,x";
+        assert_eq!(
+            dataset_from_reader("t", csv.as_bytes()).unwrap_err(),
+            CsvError::UnterminatedQuote
+        );
+    }
+
+    #[test]
+    fn reader_surfaces_io_errors() {
+        struct Failing;
+        impl std::io::Read for Failing {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+        }
+        let reader = std::io::BufReader::new(Failing);
+        assert!(matches!(
+            dataset_from_reader("t", reader).unwrap_err(),
+            CsvError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn csv_records_iterates_raw_records() {
+        let csv = "a,b\n\"x\ny\",z";
+        let recs: Vec<_> = CsvRecords::new(csv.as_bytes())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(recs, vec![vec!["a", "b"], vec!["x\ny", "z"]]);
     }
 
     #[test]

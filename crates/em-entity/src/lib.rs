@@ -28,7 +28,7 @@ pub mod schema;
 pub mod tokenizer;
 
 pub use blocking::{evaluate_blocking, token_blocking, BlockingConfig, BlockingQuality};
-pub use csv::{dataset_from_csv, dataset_to_csv, CsvError};
+pub use csv::{dataset_from_csv, dataset_from_reader, dataset_to_csv, CsvError, CsvRecords};
 pub use dataset::{EmDataset, SplitConfig};
 pub use entity::{Entity, UnknownAttribute};
 pub use model::MatchModel;

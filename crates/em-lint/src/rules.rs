@@ -51,6 +51,8 @@ const OUTPUT_CRATES: &[&str] = &[
     "em-serve",
     "em-text",
     "em-matchers",
+    "em-codec",
+    "em-batch",
 ];
 
 /// Crates allowed to read wall clocks: benchmarks time by definition,
@@ -58,14 +60,25 @@ const OUTPUT_CRATES: &[&str] = &[
 /// `em-obs` is the single sanctioned clock-reading crate in the pipeline
 /// — its spans observe stage durations without feeding seeds or scores
 /// (DESIGN.md §10).
+///
+/// `em-batch` is deliberately NOT listed: its entire output (shard files
+/// and manifest) carries a byte-identity guarantee across kill/resume,
+/// so a clock read anywhere in the crate is a latent determinism bug.
+/// All timing in its summary JSON flows through `em-obs` spans recorded
+/// inside the explainers (DESIGN.md §12).
 const WALLCLOCK_CRATES: &[&str] = &["bench", "em-serve", "em-obs"];
 
-/// Request-path modules of `em-serve` that must never panic on input.
+/// Request-path modules that must never panic on input: `em-serve`'s
+/// wire handling, plus the shared codec it re-exports from `em-codec`
+/// (hoisted there so `em-batch` emits server-identical bytes — the same
+/// untrusted-input rules follow the code to its new home).
 const REQUEST_PATH_FILES: &[&str] = &[
     "crates/em-serve/src/http.rs",
     "crates/em-serve/src/codec.rs",
     "crates/em-serve/src/json.rs",
     "crates/em-serve/src/server.rs",
+    "crates/em-codec/src/json.rs",
+    "crates/em-codec/src/explain.rs",
 ];
 
 /// Runs every applicable rule over `ctx`.

@@ -1,0 +1,29 @@
+// Fixture (linted as crates/em-batch/src/fixture.rs AND as
+// crates/em-codec/src/fixture.rs): both crates joined OUTPUT_CRATES with
+// the batch pipeline — em-codec serializes every response byte and
+// em-batch writes byte-identity-guaranteed shard files, so hash-ordered
+// iteration in either would leak process-seeded order into output.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Fixture function: emitting manifest entries out of a HashMap would
+/// order the file by hash seed, breaking resume byte-identity.
+pub fn render_entries(entries: HashMap<usize, String>) -> String {
+    let entries: HashMap<usize, String> = entries;
+    let mut out = String::new();
+    for (shard, hash) in entries.iter() {
+        //~^ hashmap-iter-order
+        out.push_str(&format!("{shard} {hash}\n"));
+    }
+    out
+}
+
+/// Fixture function: the allowed shape — a BTreeMap iterates in key
+/// order, which is stable across processes.
+pub fn render_entries_sorted(sorted: BTreeMap<usize, String>) -> String {
+    let mut out = String::new();
+    for (shard, hash) in &sorted {
+        out.push_str(&format!("{shard} {hash}\n"));
+    }
+    out
+}

@@ -1,0 +1,24 @@
+// Fixture (linted as crates/em-batch/src/fixture.rs): the batch pipeline
+// is deliberately NOT in WALLCLOCK_CRATES — its shard files and manifest
+// carry a byte-identity guarantee across kill/resume, so any ambient
+// clock read in the crate is a latent determinism bug. Timing the crate
+// *reports* must arrive pre-measured from `em-obs` (DESIGN.md §12).
+
+use std::time::Instant;
+
+/// Fixture function: stamping shard progress with the wall clock is
+/// flagged — the stamp would differ between a run and its resume.
+pub fn stamped_progress(shard: usize) -> String {
+    let now = Instant::now(); //~ wallclock-in-seeded-path
+    format!("shard {shard} at {:?}", now.elapsed())
+}
+
+/// Fixture function: the allowed shape — timings measured by `em-obs`
+/// spans inside the explainers and read back as plain numbers. No clock
+/// is touched here.
+pub fn summarize_stage_nanos(collector: &em_obs::Collector) -> u64 {
+    em_obs::Stage::all()
+        .into_iter()
+        .map(|stage| collector.stage_nanos(stage))
+        .sum()
+}

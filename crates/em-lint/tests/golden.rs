@@ -54,6 +54,14 @@ const FIXTURES: &[(&str, &str)] = &[
         "crates/em-matchers/src/fixture.rs",
     ),
     (
+        "hashmap-iter-order/batch_crate.rs",
+        "crates/em-batch/src/fixture.rs",
+    ),
+    (
+        "hashmap-iter-order/batch_crate.rs",
+        "crates/em-codec/src/fixture.rs",
+    ),
+    (
         "wallclock-in-seeded-path/positive.rs",
         "crates/core/src/fixture.rs",
     ),
@@ -68,6 +76,10 @@ const FIXTURES: &[(&str, &str)] = &[
     (
         "wallclock-in-seeded-path/allowed_obs.rs",
         "crates/em-obs/src/fixture.rs",
+    ),
+    (
+        "wallclock-in-seeded-path/batch_crate.rs",
+        "crates/em-batch/src/fixture.rs",
     ),
     (
         "panic-in-request-path/positive.rs",

@@ -30,6 +30,12 @@ pub enum BatchError {
     },
     /// The persisted model failed to load.
     Model(String),
+    /// Another run/resume process holds the run directory's exclusive
+    /// lock; running anyway would interleave manifest appends.
+    Locked {
+        /// The lock file path.
+        path: String,
+    },
     /// An injected failpoint fired (tests and the CI kill/resume smoke
     /// job). The CLI maps this to exit code 3 so scripts can tell a
     /// deliberate crash from a real failure.
@@ -54,6 +60,10 @@ impl std::fmt::Display for BatchError {
                  re-run `em-batch plan`"
             ),
             BatchError::Model(msg) => write!(f, "model: {msg}"),
+            BatchError::Locked { path } => write!(
+                f,
+                "{path}: run directory is locked by another em-batch process"
+            ),
             BatchError::Failpoint { site, shard } => {
                 write!(f, "failpoint {} fired on shard {shard}", site.name())
             }

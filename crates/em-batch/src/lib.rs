@@ -18,7 +18,10 @@
 //!    `em-batch resume`: finished shards are skipped, the interrupted
 //!    shard is recomputed (producing identical bytes), and the final run
 //!    directory — shard files *and* manifest — is byte-identical to an
-//!    uninterrupted run. DESIGN.md §12 spells out the argument.
+//!    uninterrupted run. An exclusive `flock` on the run directory keeps
+//!    concurrent run/resume processes from interleaving manifest
+//!    appends; it dies with the process, so a kill never wedges a later
+//!    resume. DESIGN.md §12 spells out the argument.
 //!
 //! The crate ships a CLI binary (`em-batch`) with `plan` / `run` /
 //! `resume` / `verify` subcommands plus a `gen` helper for synthetic

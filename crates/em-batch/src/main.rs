@@ -252,6 +252,13 @@ fn cmd_verify(opts: &Options) -> Result<ExitCode, BatchError> {
             report.shards_pending.len()
         );
     }
+    if report.torn_manifest_bytes > 0 {
+        eprintln!(
+            "em-batch: verify: manifest ends in a torn {}-byte append (crash artifact; \
+             `em-batch resume` will heal it)",
+            report.torn_manifest_bytes
+        );
+    }
     println!(
         "em-batch: verify: {} shard(s) ok, {} pending, {} problem(s)",
         report.shards_ok,

@@ -8,11 +8,14 @@
 //! recomputing the shard, which rewrites identical bytes.
 //!
 //! Crash tolerance on load: a torn final line (the only kind of tear an
-//! append-only file can have) is detected and **truncated away** before
-//! the run continues, so a resumed manifest ends up byte-identical to an
-//! uninterrupted one. A torn line anywhere else, or two entries for the
-//! same shard that disagree, means outside interference and is a hard
-//! error.
+//! append-only file can have) is detected, and — on the run/resume path
+//! ([`load_and_repair`]) — **truncated away** before the run continues,
+//! so a resumed manifest ends up byte-identical to an uninterrupted one.
+//! [`load`] is the strictly read-only variant: it reports the torn tail
+//! instead of healing it, which is what `em-batch verify` uses so that
+//! auditing a crashed run directory never mutates it. A torn line
+//! anywhere else, or two entries for the same shard that disagree, means
+//! outside interference and is a hard error.
 
 use std::io::Write;
 use std::path::Path;
@@ -56,15 +59,35 @@ impl ManifestEntry {
     }
 }
 
-/// Loads the manifest, repairing a torn final line by truncating it.
+/// A manifest as read straight off disk, before any repair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadedManifest {
+    /// Complete, parsed entries in file order.
+    pub entries: Vec<ManifestEntry>,
+    /// Byte length of the valid prefix (every complete line).
+    pub valid_bytes: usize,
+    /// Trailing bytes of a torn final append after the valid prefix —
+    /// `0` for a clean file. A torn tail is the expected artifact of a
+    /// crash mid-append, not corruption.
+    pub torn_bytes: usize,
+}
+
+/// Reads the manifest without touching the file (a torn final line is
+/// reported, not truncated).
 ///
 /// Returns the entries in file order. A missing file is an empty
 /// manifest. Identical duplicate entries collapse to one; conflicting
 /// duplicates are a [`BatchError::Manifest`].
-pub fn load_and_repair(path: &Path) -> Result<Vec<ManifestEntry>, BatchError> {
+pub fn load(path: &Path) -> Result<LoadedManifest, BatchError> {
     let bytes = match std::fs::read(path) {
         Ok(b) => b,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(LoadedManifest {
+                entries: Vec::new(),
+                valid_bytes: 0,
+                torn_bytes: 0,
+            })
+        }
         Err(e) => return Err(BatchError::io(path, e)),
     };
     let text = String::from_utf8_lossy(&bytes);
@@ -91,8 +114,9 @@ pub fn load_and_repair(path: &Path) -> Result<Vec<ManifestEntry>, BatchError> {
                 keep_bytes = offset;
             }
             _ if !complete => {
-                // Torn final append: drop it from the file so the healed
-                // manifest matches an uninterrupted run byte for byte.
+                // Torn final append: stop here and report it;
+                // `load_and_repair` truncates it so a healed manifest
+                // matches an uninterrupted run byte for byte.
                 break;
             }
             _ => {
@@ -103,16 +127,27 @@ pub fn load_and_repair(path: &Path) -> Result<Vec<ManifestEntry>, BatchError> {
             }
         }
     }
-    if keep_bytes < bytes.len() {
+    Ok(LoadedManifest {
+        entries,
+        valid_bytes: keep_bytes,
+        torn_bytes: bytes.len() - keep_bytes,
+    })
+}
+
+/// Loads the manifest, repairing a torn final line by truncating it (the
+/// run/resume path; `verify` uses the read-only [`load`] instead).
+pub fn load_and_repair(path: &Path) -> Result<Vec<ManifestEntry>, BatchError> {
+    let loaded = load(path)?;
+    if loaded.torn_bytes > 0 {
         let file = std::fs::OpenOptions::new()
             .write(true)
             .open(path)
             .map_err(|e| BatchError::io(path, e))?;
-        file.set_len(keep_bytes as u64)
+        file.set_len(loaded.valid_bytes as u64)
             .map_err(|e| BatchError::io(path, e))?;
         file.sync_all().map_err(|e| BatchError::io(path, e))?;
     }
-    Ok(entries)
+    Ok(loaded.entries)
 }
 
 /// Appends one entry durably: write, flush, fsync. After this returns the
@@ -184,6 +219,23 @@ mod tests {
         assert_eq!(load_and_repair(&path).unwrap(), vec![entry(0)]);
         // The repair physically removed the torn bytes.
         assert_eq!(std::fs::read(&path).unwrap(), full);
+    }
+
+    #[test]
+    fn load_reports_a_torn_tail_without_mutating_the_file() {
+        let path = scratch("readonly");
+        append(&path, &entry(0)).unwrap();
+        let clean_len = std::fs::metadata(&path).unwrap().len() as usize;
+        let mut torn = std::fs::read(&path).unwrap();
+        torn.extend_from_slice(&entry(1).to_line().as_bytes()[..9]);
+        std::fs::write(&path, &torn).unwrap();
+
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.entries, vec![entry(0)]);
+        assert_eq!(loaded.valid_bytes, clean_len);
+        assert_eq!(loaded.torn_bytes, 9);
+        // Strictly read-only: the torn bytes are still on disk.
+        assert_eq!(std::fs::read(&path).unwrap(), torn);
     }
 
     #[test]

@@ -33,9 +33,21 @@ pub const MANIFEST_FILE: &str = "manifest.jsonl";
 pub const SHARD_DIR: &str = "shards";
 /// File name of the post-run metrics summary.
 pub const SUMMARY_FILE: &str = "summary.json";
+/// File name of the run-directory exclusive lock (`runner::execute`
+/// flocks it so only one run/resume process can append to the manifest).
+pub const LOCK_FILE: &str = "run.lock";
 
 /// Multiplier mixing the record index into its seed (DESIGN.md §7).
 const SEED_MIX: u64 = 0x9E37_79B9;
+
+/// Upper bound (exclusive) on any seed that crosses a JSON boundary.
+///
+/// JSON numbers are f64, exact only for integers below 2^53. The base
+/// seed is bounded at plan time and every derived record seed is masked
+/// below this limit, so the `seed` recorded on an output line — and
+/// replayed in an `em-serve` request body — is always the exact seed the
+/// explainer consumed.
+pub const SEED_LIMIT: u64 = 1 << 53;
 
 /// Everything a run needs to know, fixed at plan time.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,9 +117,13 @@ impl RunPlan {
 
     /// The seed record `index` explains with — a function of the base
     /// seed and the *global* index only, so shard and thread layout can
-    /// never change it.
+    /// never change it. Masked below [`SEED_LIMIT`] because the seed is
+    /// written to the output line as a JSON number and replayed against
+    /// `em-serve`: the unmasked product routinely exceeds 2^53, which
+    /// f64 would silently round, recording a seed the explainer never
+    /// used.
     pub fn record_seed(&self, index: usize) -> u64 {
-        self.seed.wrapping_add(index as u64).wrapping_mul(SEED_MIX)
+        self.seed.wrapping_add(index as u64).wrapping_mul(SEED_MIX) & (SEED_LIMIT - 1)
     }
 
     /// The shard output file name, zero-padded so lexicographic order is
@@ -130,8 +146,9 @@ impl RunPlan {
             ("input_hash", Value::string(self.input_hash.as_str())),
             ("records", self.records.into()),
             ("shards", self.shards.into()),
-            // Seeds ride the JSON number type (f64), which is exact up to
-            // 2^53 — `plan` rejects larger seeds at creation.
+            // Seeds ride the JSON number type (f64), exact for integers
+            // below 2^53: `plan` bounds the base seed at creation and
+            // `record_seed` masks derived seeds below `SEED_LIMIT`.
             ("seed", Value::Number(self.seed as f64)),
             ("explainer", Value::string(self.explainer.name())),
             ("n_samples", self.n_samples.into()),
@@ -232,7 +249,7 @@ pub fn create_plan(
     if config.shards == 0 {
         return Err(BatchError::Plan("shard count must be at least 1".into()));
     }
-    if config.seed > (1 << 53) {
+    if config.seed >= SEED_LIMIT {
         return Err(BatchError::Plan(
             "seed must fit in 53 bits (JSON number precision)".into(),
         ));
@@ -336,6 +353,38 @@ mod tests {
             assert_eq!(a.record_seed(i), b.record_seed(i));
         }
         assert_ne!(a.record_seed(0), a.record_seed(1));
+    }
+
+    #[test]
+    fn record_seeds_survive_json_f64_roundtrip() {
+        for base in [0, 42, 1 << 22, 1_754_600_000_000, SEED_LIMIT - 1] {
+            let mut p = plan(10, 2);
+            p.seed = base;
+            for i in 0..10 {
+                let s = p.record_seed(i);
+                assert!(s < SEED_LIMIT, "base {base}, record {i}");
+                assert_eq!(s as f64 as u64, s, "base {base}, record {i}");
+            }
+        }
+        // The mask is load-bearing for realistic seeds: a
+        // timestamp-scale base's unmasked product overflows 2^53.
+        let mut p = plan(10, 2);
+        p.seed = 1_754_600_000_000;
+        let unmasked = p.seed.wrapping_add(3).wrapping_mul(SEED_MIX);
+        assert!(unmasked >= SEED_LIMIT);
+        assert_eq!(p.record_seed(3), unmasked & (SEED_LIMIT - 1));
+    }
+
+    #[test]
+    fn oversized_base_seed_is_rejected_before_any_io() {
+        let config = PlanConfig {
+            seed: SEED_LIMIT,
+            ..PlanConfig::default()
+        };
+        assert!(matches!(
+            create_plan(Path::new("no-such.csv"), Path::new("no-such-dir"), &config),
+            Err(BatchError::Plan(_))
+        ));
     }
 
     #[test]

@@ -3,7 +3,11 @@
 //! Shards run strictly in shard-id order (parallelism lives *inside* a
 //! shard, across its records), so manifest entries always append in
 //! increasing shard order — which is what makes a resumed manifest
-//! byte-identical to an uninterrupted one. Per-record work fans out with
+//! byte-identical to an uninterrupted one. [`execute`] also holds an
+//! exclusive OS lock (`flock`) on the run directory's `run.lock` for its
+//! whole duration, so two concurrent run/resume processes can never
+//! interleave manifest appends; the lock dies with the process, so a
+//! crashed run never wedges a later resume. Per-record work fans out with
 //! `em_par::par_map` over the shard's records; each record's explainer
 //! runs serially (`threads: 1`), engaging the `PreparedScorer` kernel
 //! through `par_map_init`'s serial path, one prepared state per batch
@@ -54,7 +58,10 @@ pub struct RunOutcome {
 /// return for the same pair, explainer, and seed — serialized by the same
 /// shortest-roundtrip writer, so the bytes match a served response body.
 /// `seed` is recorded so a reader can replay any single record against
-/// the server (`"config": {"seed": …}`) and diff the bytes.
+/// the server (`"config": {"seed": …}`) and diff the bytes; it is always
+/// below [`plan::SEED_LIMIT`] (`record_seed` masks it there), so the
+/// `as f64` conversion below is exact and the recorded seed equals the
+/// seed the explainer consumed.
 fn encode_record_line(
     schema: &Schema,
     index: usize,
@@ -153,6 +160,28 @@ pub fn execute(
     tracer: &dyn Tracer,
 ) -> Result<RunOutcome, BatchError> {
     let plan = RunPlan::load(run_dir)?;
+
+    // One run/resume process per run directory: a concurrent invocation
+    // would interleave manifest appends and break the manifest's
+    // byte-identity claim. flock is advisory but every manifest writer
+    // goes through this function, and the OS releases it on process exit
+    // (clean or not). Held until `execute` returns.
+    let lock_path = run_dir.join(plan::LOCK_FILE);
+    let lock_file = std::fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(false)
+        .open(&lock_path)
+        .map_err(|e| BatchError::io(&lock_path, e))?;
+    match lock_file.try_lock() {
+        Ok(()) => {}
+        Err(std::fs::TryLockError::WouldBlock) => {
+            return Err(BatchError::Locked {
+                path: lock_path.display().to_string(),
+            });
+        }
+        Err(std::fs::TryLockError::Error(e)) => return Err(BatchError::io(&lock_path, e)),
+    }
 
     let input = Path::new(&plan.input);
     let actual_hash = hash::hash_file(input).map_err(|e| BatchError::io(input, e))?;

@@ -3,7 +3,11 @@
 //! Recomputes every committed shard file's content hash and checks it
 //! against the manifest, checks line counts against the planned shard
 //! ranges, and reports shards that are planned but not yet committed.
-//! Verification is read-only.
+//! Verification is strictly read-only: the manifest is read with the
+//! non-repairing [`manifest::load`], so a torn final line (the normal
+//! artifact of a crash mid-append) is *reported* — never truncated —
+//! and auditing a crashed run directory leaves every byte in place for
+//! `em-batch resume` to heal.
 
 use std::path::Path;
 
@@ -23,13 +27,17 @@ pub struct VerifyReport {
     /// Integrity violations: hash mismatches, wrong line counts, missing
     /// files. Empty means every committed shard checks out.
     pub problems: Vec<String>,
+    /// Bytes of a torn final manifest append (`0` = clean). Benign — the
+    /// expected trace of a crash mid-append, healed by the next
+    /// `resume` — but the run is not complete while it is present.
+    pub torn_manifest_bytes: usize,
 }
 
 impl VerifyReport {
     /// `true` when every committed shard is intact *and* the run is
     /// complete.
     pub fn is_complete_and_ok(&self) -> bool {
-        self.problems.is_empty() && self.shards_pending.is_empty()
+        self.problems.is_empty() && self.shards_pending.is_empty() && self.torn_manifest_bytes == 0
     }
 }
 
@@ -37,12 +45,14 @@ impl VerifyReport {
 /// findings land in the report.
 pub fn verify_run(run_dir: &Path) -> Result<VerifyReport, BatchError> {
     let plan = RunPlan::load(run_dir)?;
-    let entries = manifest::load_and_repair(&run_dir.join(MANIFEST_FILE))?;
+    let loaded = manifest::load(&run_dir.join(MANIFEST_FILE))?;
+    let entries = loaded.entries;
 
     let mut report = VerifyReport {
         shards_ok: 0,
         shards_pending: Vec::new(),
         problems: Vec::new(),
+        torn_manifest_bytes: loaded.torn_bytes,
     };
     for shard in 0..plan.shards {
         let Some(entry) = entries.iter().find(|e| e.shard == shard) else {

@@ -182,6 +182,64 @@ fn changed_input_is_detected_before_any_work() {
 }
 
 #[test]
+fn concurrent_execute_on_one_run_directory_is_rejected() {
+    let dir = scratch("locked");
+    let input = write_input(&dir);
+    let run_dir = dir.join("run");
+    plan::create_plan(&input, &run_dir, &config(2)).unwrap();
+    // Hold the run lock the way a concurrent process would: flock
+    // conflicts across file descriptions, including within one process.
+    let lock = std::fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(false)
+        .open(run_dir.join(plan::LOCK_FILE))
+        .unwrap();
+    lock.lock().unwrap();
+    assert!(matches!(
+        execute(
+            &run_dir,
+            RunMode::Fresh,
+            None,
+            &NoFailpoints,
+            em_obs::noop()
+        ),
+        Err(BatchError::Locked { .. })
+    ));
+    // Releasing the lock unblocks the run.
+    drop(lock);
+    execute(
+        &run_dir,
+        RunMode::Fresh,
+        None,
+        &NoFailpoints,
+        em_obs::noop(),
+    )
+    .unwrap();
+    assert!(verify_run(&run_dir).unwrap().is_complete_and_ok());
+}
+
+#[test]
+fn verify_reports_a_torn_manifest_tail_without_repairing_it() {
+    let dir = scratch("verify-torn");
+    let input = write_input(&dir);
+    let run_dir = dir.join("run");
+    run_to_completion(&input, &run_dir, 2, 1);
+    let manifest_path = run_dir.join(plan::MANIFEST_FILE);
+    let mut bytes = std::fs::read(&manifest_path).unwrap();
+    bytes.extend_from_slice(b"{\"shard\":2,\"rec");
+    std::fs::write(&manifest_path, &bytes).unwrap();
+
+    let report = verify_run(&run_dir).unwrap();
+    assert_eq!(report.shards_ok, 2);
+    assert!(report.problems.is_empty(), "{report:?}");
+    assert_eq!(report.torn_manifest_bytes, 15);
+    assert!(!report.is_complete_and_ok());
+    // verify is read-only: the torn bytes remain for resume to heal.
+    assert_eq!(std::fs::read(&manifest_path).unwrap(), bytes);
+}
+
+#[test]
 fn verify_flags_a_corrupted_shard() {
     let dir = scratch("corrupt");
     let input = write_input(&dir);

@@ -30,9 +30,10 @@
 //! at every commit-protocol site.
 //!
 //! Timing note: this crate never reads the clock. All timings in the
-//! summary JSON come from `em-obs` spans recorded inside the explainers,
-//! which keeps `em-batch` inside the `wallclock-in-seeded-path` lint
-//! fence (see `em-lint`). The summary is an observability artifact and is
+//! summary JSON come from `em-obs` spans recorded inside the explainers
+//! (the one declared `nondet-taint` sanitizer), which keeps everything
+//! reachable from this crate's shard writers clean under `em-lint`'s
+//! taint rule. The summary is an observability artifact and is
 //! deliberately *outside* the byte-identity claim.
 
 #![forbid(unsafe_code)]

@@ -51,6 +51,10 @@ pub struct FileContext {
     /// Identifiers bound by `let` to a `HashMap`/`HashSet` anywhere in the
     /// file, for the iteration-order rule.
     pub hash_locals: BTreeSet<String>,
+    /// Identifiers *declared* with a hash-ordered type (`name:
+    /// [&][mut] HashMap<..>` — struct fields, fn params, closure params,
+    /// type-ascribed bindings), for the taint pass's source detection.
+    pub hash_fields: BTreeSet<String>,
 }
 
 impl FileContext {
@@ -68,6 +72,7 @@ impl FileContext {
             test_regions(&lexed)
         };
         let hash_locals = hash_locals(&lexed.tokens);
+        let hash_fields = hash_fields(&lexed.tokens);
         FileContext {
             path,
             crate_name,
@@ -75,6 +80,7 @@ impl FileContext {
             lexed,
             test_lines,
             hash_locals,
+            hash_fields,
         }
     }
 
@@ -272,6 +278,39 @@ fn hash_locals(toks: &[Token]) -> BTreeSet<String> {
     out
 }
 
+/// Collects identifiers declared with a hash-ordered type head: `name :
+/// [&][mut] HashMap<..>` / `HashSet<..>`. Catches struct fields, fn and
+/// closure params, and type-ascribed locals — the declarations the
+/// `let`-initializer scan above misses. Path-qualified heads
+/// (`std::collections::HashMap`) and wrapped heads (`Vec<Mutex<HashMap>>`)
+/// are deliberately not matched: the workspace idiom is `use` + bare
+/// names, and a wrapped map is not directly iterable anyway.
+fn hash_fields(toks: &[Token]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        if !toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            || toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            continue; // not `name :`, or a `::` path separator
+        }
+        let mut j = i + 2;
+        while toks
+            .get(j)
+            .is_some_and(|t| t.is_punct('&') || t.is_ident("mut"))
+        {
+            j += 1;
+        }
+        if toks
+            .get(j)
+            .is_some_and(|t| t.is_ident("HashMap") || t.is_ident("HashSet"))
+        {
+            out.insert(name.to_string());
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,5 +405,26 @@ fn f() {
         assert!(c.hash_locals.contains("seen"));
         assert!(!c.hash_locals.contains("plain"));
         assert!(!c.hash_locals.contains("built"));
+    }
+
+    #[test]
+    fn hash_fields_cover_fields_params_and_ascriptions() {
+        let src = "\
+struct S {
+    doc_freq: HashMap<String, usize>,
+    names: Vec<String>,
+    wrapped: Vec<Mutex<HashMap<String, u8>>>,
+}
+fn f(by_ref: &HashMap<u32, u32>, owned: HashSet<u8>, plain: usize) {
+    let g = |cb: &mut HashMap<u8, u8>| cb.len();
+}
+";
+        let c = FileContext::new("crates/core/src/x.rs", src);
+        for tracked in ["doc_freq", "by_ref", "owned", "cb"] {
+            assert!(c.hash_fields.contains(tracked), "missing {tracked}");
+        }
+        for untracked in ["names", "wrapped", "plain"] {
+            assert!(!c.hash_fields.contains(untracked), "spurious {untracked}");
+        }
     }
 }

@@ -1,0 +1,648 @@
+//! Conservative workspace call graph (DESIGN.md §13).
+//!
+//! Nodes are the [`crate::parser`] fn items of every non-vendored file;
+//! edges are call sites resolved by *name*, refined with whatever
+//! qualifier evidence the token stream gives:
+//!
+//! * `path::segment::name(..)` — the last qualifier must match the
+//!   callee's `impl` type, its file's module stem, or its crate;
+//! * `.name(..)` method calls — every impl/trait fn named `name` in the
+//!   caller's dependency closure;
+//! * bare `name(..)` — same file first, then same crate, then the whole
+//!   dependency closure (to follow re-exports).
+//!
+//! Resolution **over-approximates**: a call may fan out to several
+//! same-named candidates, and workspace-external calls (std, vendored
+//! stand-ins) resolve to nothing. That direction is sound for every rule
+//! built on the graph — reachability rules (`nondet-taint`,
+//! `panic-in-request-path`) only ever gain paths, so a true positive is
+//! never lost; spurious paths surface as findings that a human either
+//! fixes or waives with a reasoned suppression. Edges are restricted to
+//! each crate's (transitive) dependency closure when a [`DepMap`] is
+//! available, which keeps the fan-out honest across 15 crates.
+
+use crate::context::{FileContext, FileKind};
+use crate::parser::FileItems;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Crate → direct workspace dependencies (hyphen-normalized names), as
+/// parsed from the crates' `Cargo.toml` manifests.
+pub type DepMap = BTreeMap<String, BTreeSet<String>>;
+
+/// One call-graph node, with the metadata every graph rule needs.
+#[derive(Debug, Clone)]
+pub struct GraphFn {
+    /// Index of the owning file in the context slice.
+    pub file: usize,
+    /// Index of the fn item within that file's [`FileItems::fns`].
+    pub item: usize,
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type, if any.
+    pub owner: Option<String>,
+    /// Crate the fn lives in (hyphen-normalized).
+    pub krate: String,
+    /// 1-based line of the `fn` keyword.
+    pub decl_line: usize,
+    /// Body token range (inclusive braces); `None` for trait decls.
+    pub body: Option<(usize, usize)>,
+    /// Whether the fn is test-only.
+    pub is_test: bool,
+    /// Rules the fn sanitizes (justified `sanitize(..)` annotations).
+    pub sanitizes: Vec<String>,
+    /// Body ranges of other fns nested inside this one — their tokens
+    /// belong to the nested fn, not to this one.
+    pub nested: Vec<(usize, usize)>,
+    /// File stem of the owning file (`runner` for `runner.rs`) — the
+    /// module-name approximation used for qualified-call resolution.
+    pub stem: String,
+}
+
+/// The resolved workspace call graph.
+#[derive(Debug)]
+pub struct Graph {
+    /// All nodes, in (file, declaration) order.
+    pub fns: Vec<GraphFn>,
+    /// `edges[i]` — indices of the fns `fns[i]` may call (sorted, deduped).
+    pub edges: Vec<Vec<usize>>,
+    name_index: BTreeMap<String, Vec<usize>>,
+    crates: BTreeSet<String>,
+    closure: Option<BTreeMap<String, BTreeSet<String>>>,
+}
+
+/// Per-crate node/edge counts for the `graph` debug subcommand.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrateStats {
+    /// Call-graph nodes (fn items) in the crate.
+    pub fns: usize,
+    /// Resolved call edges whose *caller* is in the crate.
+    pub edges: usize,
+}
+
+/// Whole-graph resolution statistics.
+#[derive(Debug, Clone, Default)]
+pub struct GraphStats {
+    /// Stats keyed by crate name, deterministically ordered.
+    pub crates: BTreeMap<String, CrateStats>,
+    /// Total nodes.
+    pub total_fns: usize,
+    /// Total edges.
+    pub total_edges: usize,
+}
+
+/// Keywords that look like bare calls (`if (..)`, `match (..)`) but are
+/// control flow, plus path/visibility keywords.
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "while", "match", "for", "return", "let", "loop", "else", "move", "in", "as", "where",
+    "impl", "dyn", "ref", "mut", "box", "fn", "use", "pub", "mod", "struct", "enum", "trait",
+    "type", "const", "static", "unsafe", "async", "await", "break", "continue", "super", "self",
+    "Self", "crate", "true", "false",
+];
+
+impl Graph {
+    /// Builds the call graph for a set of lexed+parsed files. Vendored
+    /// files contribute no nodes: the stand-ins mirror external crates,
+    /// whose internals are outside the determinism contract.
+    pub fn build(ctxs: &[FileContext], items: &[FileItems], deps: Option<&DepMap>) -> Graph {
+        let mut fns: Vec<GraphFn> = Vec::new();
+        for (fi, (ctx, it)) in ctxs.iter().zip(items).enumerate() {
+            if matches!(ctx.kind, FileKind::Vendor) {
+                continue;
+            }
+            let stem = ctx
+                .path
+                .rsplit('/')
+                .next()
+                .unwrap_or("")
+                .trim_end_matches(".rs")
+                .to_string();
+            for (ii, f) in it.fns.iter().enumerate() {
+                let nested = f
+                    .body
+                    .map(|(b0, b1)| {
+                        it.fns
+                            .iter()
+                            .filter_map(|g| g.body)
+                            .filter(|&(g0, g1)| g0 > b0 && g1 < b1)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                fns.push(GraphFn {
+                    file: fi,
+                    item: ii,
+                    name: f.name.clone(),
+                    owner: f.owner.clone(),
+                    krate: normalize(&ctx.crate_name),
+                    decl_line: f.decl_line,
+                    body: f.body,
+                    is_test: f.is_test,
+                    sanitizes: f.sanitizes.clone(),
+                    nested,
+                    stem: stem.clone(),
+                });
+            }
+        }
+        let mut name_index: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut crates = BTreeSet::new();
+        for (i, f) in fns.iter().enumerate() {
+            name_index.entry(f.name.clone()).or_default().push(i);
+            crates.insert(f.krate.clone());
+        }
+        let closure = deps.map(|d| transitive_closure(d, &crates));
+        let mut g = Graph {
+            fns,
+            edges: Vec::new(),
+            name_index,
+            crates,
+            closure,
+        };
+        g.edges = (0..g.fns.len())
+            .map(|i| g.resolve_calls(i, ctxs, items))
+            .collect();
+        g
+    }
+
+    /// Token indices belonging to fn `f` itself — its body minus any
+    /// nested fn items.
+    pub fn own_tokens(&self, f: usize) -> Vec<usize> {
+        let node = &self.fns[f];
+        let Some((b0, b1)) = node.body else {
+            return Vec::new();
+        };
+        (b0 + 1..b1)
+            .filter(|&k| !node.nested.iter().any(|&(n0, n1)| k >= n0 && k <= n1))
+            .collect()
+    }
+
+    /// Crates in the dependency closure of `krate` (including itself).
+    /// With no dependency information every crate is assumed reachable —
+    /// the conservative default used for single-file linting.
+    fn in_closure(&self, caller_crate: &str, callee_crate: &str) -> bool {
+        match &self.closure {
+            Some(c) => c
+                .get(caller_crate)
+                .map(|s| s.contains(callee_crate))
+                .unwrap_or(true),
+            None => true,
+        }
+    }
+
+    fn resolve_calls(&self, f: usize, ctxs: &[FileContext], items: &[FileItems]) -> Vec<usize> {
+        let node = &self.fns[f];
+        let toks = ctxs[node.file].tokens();
+        let uses = &items[node.file].uses;
+        let mut out: BTreeSet<usize> = BTreeSet::new();
+        for k in self.own_tokens(f) {
+            let Some(name) = toks[k].ident() else { continue };
+            // A call site is `name(` — possibly with a `::<T>` turbofish.
+            let mut after = k + 1;
+            if toks.get(after).is_some_and(|t| t.is_punct(':'))
+                && toks.get(after + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(after + 2).is_some_and(|t| t.is_punct('<'))
+            {
+                let mut angle = 0isize;
+                let mut j = after + 2;
+                while j < toks.len() {
+                    if toks[j].is_punct('<') {
+                        angle += 1;
+                    } else if toks[j].is_punct('>') {
+                        angle -= 1;
+                        if angle == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                after = j + 1;
+            }
+            if !toks.get(after).is_some_and(|t| t.is_punct('(')) {
+                continue;
+            }
+            if toks.get(k + 1).is_some_and(|t| t.is_punct('!')) {
+                continue; // macro invocation — its *arguments* are still scanned
+            }
+            let prev_dot = k >= 1 && toks[k - 1].is_punct('.');
+            let qualified = k >= 2 && toks[k - 1].is_punct(':') && toks[k - 2].is_punct(':');
+            let candidates = if prev_dot {
+                self.resolve_method(node, name)
+            } else if qualified {
+                self.resolve_qualified(node, toks, k, name)
+            } else {
+                if NON_CALL_IDENTS.contains(&name)
+                    || name.starts_with(|c: char| c.is_ascii_uppercase())
+                {
+                    continue; // keyword, or a tuple-struct/variant constructor
+                }
+                self.resolve_bare(node, uses, name)
+            };
+            out.extend(candidates.into_iter().filter(|&c| c != f));
+        }
+        out.into_iter().collect()
+    }
+
+    /// `.name(..)` — any impl/trait fn named `name` in the caller's
+    /// dependency closure. Receiver types are not tracked, so this is the
+    /// widest (most conservative) resolution class.
+    fn resolve_method(&self, caller: &GraphFn, name: &str) -> Vec<usize> {
+        self.named(name)
+            .iter()
+            .copied()
+            .filter(|&c| self.fns[c].owner.is_some() && self.in_closure(&caller.krate, &self.fns[c].krate))
+            .collect()
+    }
+
+    /// `quals::name(..)` — refine by the last qualifier: `Self`, an impl
+    /// type, a module (file stem), or a crate name.
+    fn resolve_qualified(
+        &self,
+        caller: &GraphFn,
+        toks: &[crate::lexer::Token],
+        k: usize,
+        name: &str,
+    ) -> Vec<usize> {
+        // Walk the `seg:: seg:: name` chain backwards to collect qualifiers.
+        let mut quals: Vec<&str> = Vec::new();
+        let mut j = k;
+        while j >= 3
+            && toks[j - 1].is_punct(':')
+            && toks[j - 2].is_punct(':')
+            && toks[j - 3].ident().is_some()
+        {
+            quals.push(toks[j - 3].ident().unwrap_or_default());
+            j -= 3;
+        }
+        let Some(&last) = quals.first() else {
+            return Vec::new();
+        };
+        let same_crate = |c: &usize| self.fns[*c].krate == caller.krate;
+        match last {
+            "self" | "crate" | "super" => self
+                .named(name)
+                .iter()
+                .copied()
+                .filter(same_crate)
+                .collect(),
+            "Self" => self
+                .named(name)
+                .iter()
+                .copied()
+                .filter(|&c| self.fns[c].owner == caller.owner && same_crate(&c))
+                .collect(),
+            q => {
+                let qn = normalize(q);
+                self.named(name)
+                    .iter()
+                    .copied()
+                    .filter(|&c| {
+                        let cf = &self.fns[c];
+                        if !self.in_closure(&caller.krate, &cf.krate) {
+                            return false;
+                        }
+                        cf.owner.as_deref() == Some(q) || cf.krate == qn || cf.stem == q
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Bare `name(..)` — same file, then same crate, then the dependency
+    /// closure (the last step follows re-exported free functions).
+    fn resolve_bare(
+        &self,
+        caller: &GraphFn,
+        uses: &BTreeMap<String, Vec<String>>,
+        name: &str,
+    ) -> Vec<usize> {
+        let all = self.named(name);
+        let same_file: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|&c| self.fns[c].file == caller.file)
+            .collect();
+        if !same_file.is_empty() {
+            return same_file;
+        }
+        let same_crate: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|&c| self.fns[c].krate == caller.krate)
+            .collect();
+        if !same_crate.is_empty() {
+            return same_crate;
+        }
+        // An explicit import pins the crate when its first segment is one.
+        if let Some(path) = uses.get(name) {
+            if let Some(first) = path.first() {
+                let target = normalize(first);
+                if self.crates.contains(&target) {
+                    return all
+                        .iter()
+                        .copied()
+                        .filter(|&c| self.fns[c].krate == target)
+                        .collect();
+                }
+            }
+        }
+        all.iter()
+            .copied()
+            .filter(|&c| self.in_closure(&caller.krate, &self.fns[c].krate))
+            .collect()
+    }
+
+    fn named(&self, name: &str) -> &[usize] {
+        self.name_index.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Breadth-first reachability from `roots` over call edges.
+    ///
+    /// * `scope` — when given, only fns of these crates are visited;
+    /// * `blocked` — fns for which this returns true are neither visited
+    ///   nor expanded (sanitizers);
+    /// * test fns are never visited.
+    ///
+    /// Returns `fn index → predecessor` for every reached fn (roots map
+    /// to themselves), so callers can reconstruct a witness call chain.
+    pub fn reachable(
+        &self,
+        roots: &[usize],
+        scope: Option<&BTreeSet<String>>,
+        blocked: &dyn Fn(usize) -> bool,
+    ) -> BTreeMap<usize, usize> {
+        let visitable = |i: usize| {
+            !self.fns[i].is_test
+                && !blocked(i)
+                && scope.is_none_or(|s| s.contains(&self.fns[i].krate))
+        };
+        let mut preds: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in roots {
+            if visitable(r) && !preds.contains_key(&r) {
+                preds.insert(r, r);
+                queue.push_back(r);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            for &m in &self.edges[n] {
+                if visitable(m) && !preds.contains_key(&m) {
+                    preds.insert(m, n);
+                    queue.push_back(m);
+                }
+            }
+        }
+        preds
+    }
+
+    /// Reconstructs the witness chain `root → .. → target` as fn names.
+    pub fn chain(&self, preds: &BTreeMap<usize, usize>, target: usize) -> String {
+        let mut names = vec![self.fns[target].name.clone()];
+        let mut cur = target;
+        while let Some(&p) = preds.get(&cur) {
+            if p == cur {
+                break;
+            }
+            names.push(self.fns[p].name.clone());
+            cur = p;
+        }
+        names.reverse();
+        names.join(" → ")
+    }
+
+    /// Fn indices matching a `(crate, fn name)` pair, production code only.
+    pub fn find(&self, krate: &str, name: &str) -> Vec<usize> {
+        self.named(name)
+            .iter()
+            .copied()
+            .filter(|&i| self.fns[i].krate == krate && !self.fns[i].is_test)
+            .collect()
+    }
+
+    /// Per-crate node/edge counts.
+    pub fn stats(&self) -> GraphStats {
+        let mut stats = GraphStats::default();
+        for (i, f) in self.fns.iter().enumerate() {
+            let entry = stats.crates.entry(f.krate.clone()).or_default();
+            entry.fns += 1;
+            entry.edges += self.edges[i].len();
+            stats.total_fns += 1;
+            stats.total_edges += self.edges[i].len();
+        }
+        stats
+    }
+}
+
+/// Crate names appear hyphenated in paths (`em-codec`) and underscored in
+/// Rust paths (`em_codec`); compare in hyphen space.
+fn normalize(name: &str) -> String {
+    name.replace('_', "-")
+}
+
+/// Expands direct dependencies to their transitive closure (self
+/// included), restricted to crates actually present in the workspace.
+fn transitive_closure(deps: &DepMap, crates: &BTreeSet<String>) -> BTreeMap<String, BTreeSet<String>> {
+    let mut out = BTreeMap::new();
+    for krate in crates {
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut queue = VecDeque::from([krate.clone()]);
+        while let Some(c) = queue.pop_front() {
+            if !seen.insert(c.clone()) {
+                continue;
+            }
+            if let Some(direct) = deps.get(&c) {
+                for d in direct {
+                    if crates.contains(d) && !seen.contains(d) {
+                        queue.push_back(d.clone());
+                    }
+                }
+            }
+        }
+        out.insert(krate.clone(), seen);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+    use crate::parser;
+
+    fn build(files: &[(&str, &str)], deps: Option<&DepMap>) -> Graph {
+        let ctxs: Vec<FileContext> =
+            files.iter().map(|(p, s)| FileContext::new(p, s)).collect();
+        let items: Vec<parser::FileItems> = ctxs.iter().map(parser::parse).collect();
+        Graph::build(&ctxs, &items, deps)
+    }
+
+    fn idx(g: &Graph, name: &str) -> usize {
+        g.fns.iter().position(|f| f.name == name).unwrap()
+    }
+
+    fn calls(g: &Graph, caller: &str, callee: &str) -> bool {
+        g.edges[idx(g, caller)].contains(&idx(g, callee))
+    }
+
+    #[test]
+    fn bare_calls_prefer_same_file_then_same_crate() {
+        let g = build(
+            &[
+                (
+                    "crates/em-a/src/lib.rs",
+                    "pub fn top() { helper(); }\npub fn helper() {}\n",
+                ),
+                ("crates/em-b/src/lib.rs", "pub fn helper() {}\n"),
+            ],
+            None,
+        );
+        let t = idx(&g, "top");
+        assert_eq!(g.edges[t].len(), 1, "same-file helper wins: {:?}", g.edges[t]);
+        assert_eq!(g.fns[g.edges[t][0]].krate, "em-a");
+    }
+
+    #[test]
+    fn qualified_calls_match_crate_module_or_owner() {
+        let g = build(
+            &[
+                ("crates/em-a/src/util.rs", "pub fn helper() {}\n"),
+                (
+                    "crates/em-b/src/lib.rs",
+                    "pub fn by_crate() { em_a::util::helper(); }\n\
+                     pub fn by_module() { util::helper(); }\n\
+                     pub fn no_match() { other::helper(); }\n",
+                ),
+            ],
+            None,
+        );
+        assert!(calls(&g, "by_crate", "helper"));
+        assert!(calls(&g, "by_module", "helper"));
+        assert!(g.edges[idx(&g, "no_match")].is_empty(), "unmatched qualifier → no edge");
+    }
+
+    #[test]
+    fn dependency_closure_restricts_cross_crate_edges() {
+        let files = [
+            ("crates/em-a/src/lib.rs", "pub struct S;\nimpl S { pub fn helper(&self) {} }\n"),
+            ("crates/em-b/src/lib.rs", "pub fn top(s: &em_a::S) { s.helper(); }\n"),
+        ];
+        let mut deps: DepMap = DepMap::new();
+        deps.insert("em-b".into(), BTreeSet::from(["em-a".to_string()]));
+        let g = build(&files, Some(&deps));
+        assert!(calls(&g, "top", "helper"), "declared dep → method edge");
+
+        let empty: DepMap = DepMap::new();
+        let g2 = build(&files, Some(&empty));
+        assert!(g2.edges[idx(&g2, "top")].is_empty(), "undeclared dep → no edge");
+    }
+
+    #[test]
+    fn macros_uppercase_and_keywords_do_not_form_edges() {
+        let g = build(
+            &[(
+                "crates/em-a/src/lib.rs",
+                "pub fn check() {}\n\
+                 pub fn top() { check!(1); Some(2); if (true) {} }\n\
+                 pub fn really_calls() { check(); }\n",
+            )],
+            None,
+        );
+        assert!(g.edges[idx(&g, "top")].is_empty());
+        assert!(calls(&g, "really_calls", "check"));
+    }
+
+    #[test]
+    fn turbofish_call_sites_resolve() {
+        let g = build(
+            &[(
+                "crates/em-a/src/lib.rs",
+                "pub fn decode(b: &[u8]) -> u32 { 0 }\n\
+                 pub fn top() { decode::<>(b\"x\"); Self::make::<u32>(); }\n\
+                 pub struct S;\nimpl S { pub fn make() {} }\n",
+            )],
+            None,
+        );
+        assert!(calls(&g, "top", "decode"));
+    }
+
+    #[test]
+    fn self_qualifier_matches_owner_only() {
+        let g = build(
+            &[(
+                "crates/em-a/src/lib.rs",
+                "pub struct A;\nimpl A { pub fn go(&self) { Self::helper(); } pub fn helper() {} }\n\
+                 pub struct B;\nimpl B { pub fn helper() {} }\n",
+            )],
+            None,
+        );
+        let go = idx(&g, "go");
+        assert_eq!(g.edges[go].len(), 1);
+        assert_eq!(g.fns[g.edges[go][0]].owner.as_deref(), Some("A"));
+    }
+
+    #[test]
+    fn reachability_skips_tests_and_sanitizers_and_builds_chains() {
+        let g = build(
+            &[(
+                "crates/em-a/src/lib.rs",
+                "pub fn root() { mid(); }\n\
+                 pub fn mid() { deep(); blessed(); }\n\
+                 pub fn deep() {}\n\
+                 // em-lint: sanitize(nondet-taint) -- test sanitizer\n\
+                 pub fn blessed() { hidden(); }\n\
+                 pub fn hidden() {}\n\
+                 #[test]\nfn t() { deep(); }\n",
+            )],
+            None,
+        );
+        let root = idx(&g, "root");
+        let preds = g.reachable(
+            &[root],
+            None,
+            &|i| g.fns[i].sanitizes.iter().any(|r| r == "nondet-taint"),
+        );
+        assert!(preds.contains_key(&idx(&g, "deep")));
+        assert!(!preds.contains_key(&idx(&g, "blessed")), "sanitizer blocks traversal");
+        assert!(!preds.contains_key(&idx(&g, "hidden")), "nothing past a sanitizer");
+        assert!(!preds.contains_key(&idx(&g, "t")));
+        assert_eq!(g.chain(&preds, idx(&g, "deep")), "root → mid → deep");
+    }
+
+    #[test]
+    fn vendor_files_contribute_no_nodes() {
+        let g = build(
+            &[
+                ("vendor/rand/src/lib.rs", "pub fn gen() {}\n"),
+                ("crates/em-a/src/lib.rs", "pub fn top() { gen(); }\n"),
+            ],
+            None,
+        );
+        assert_eq!(g.fns.len(), 1);
+        assert!(g.edges[0].is_empty());
+    }
+
+    #[test]
+    fn stats_count_fns_and_edges_per_crate() {
+        let g = build(
+            &[
+                ("crates/em-a/src/lib.rs", "pub fn a() { b(); }\npub fn b() {}\n"),
+                ("crates/em-b/src/lib.rs", "pub fn c() {}\n"),
+            ],
+            None,
+        );
+        let s = g.stats();
+        assert_eq!(s.total_fns, 3);
+        assert_eq!(s.total_edges, 1);
+        assert_eq!(s.crates["em-a"], CrateStats { fns: 2, edges: 1 });
+        assert_eq!(s.crates["em-b"], CrateStats { fns: 1, edges: 0 });
+    }
+
+    #[test]
+    fn transitive_closure_follows_chains() {
+        let mut deps: DepMap = DepMap::new();
+        deps.insert("em-c".into(), BTreeSet::from(["em-b".to_string()]));
+        deps.insert("em-b".into(), BTreeSet::from(["em-a".to_string()]));
+        let crates = BTreeSet::from(["em-a".to_string(), "em-b".to_string(), "em-c".to_string()]);
+        let closed = transitive_closure(&deps, &crates);
+        assert!(closed["em-c"].contains("em-a"), "transitive dep reached");
+        assert!(closed["em-a"].contains("em-a"), "self always present");
+        assert!(!closed["em-a"].contains("em-c"), "no reverse edges");
+    }
+}

@@ -8,8 +8,9 @@
 //!
 //! * **doc-comment lines** (`///`, `//!`, `/** */`, `/*! */`) — consumed
 //!   by the `pub-item-docs` rule;
-//! * **suppression comments** (`// em-lint: allow(<rule>) -- <reason>`)
-//!   — consumed by the engine when filtering violations;
+//! * **annotation comments** (`// em-lint: allow(<rule>) -- <reason>` and
+//!   `// em-lint: sanitize(<rule>) -- <reason>`) — consumed by the engine
+//!   when filtering violations and by the taint pass for sanitizers;
 //! * **code lines** — lines carrying at least one token, used to resolve
 //!   which line a standalone suppression comment covers.
 //!
@@ -59,9 +60,23 @@ impl Token {
     }
 }
 
-/// A parsed `// em-lint: allow(...)` comment.
+/// What an `em-lint:` annotation does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnnotationKind {
+    /// `allow(rule)` — silences findings of `rule` on the covered line
+    /// (or, for reachability rules, on the covered function).
+    Allow,
+    /// `sanitize(rule)` — declares the covered *function* a sanitizer:
+    /// dataflow rules treat it as neither sourcing nor propagating the
+    /// named taint (DESIGN.md §13). Only meaningful on a function.
+    Sanitize,
+}
+
+/// A parsed `// em-lint: allow(...)` / `// em-lint: sanitize(...)` comment.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Suppression {
+    /// Whether this is an `allow` or a `sanitize` annotation.
+    pub kind: AnnotationKind,
     /// 1-based line the comment sits on.
     pub line: usize,
     /// Rule names listed inside `allow(...)`, comma-separated.
@@ -170,24 +185,38 @@ impl<'a> Lexer<'a> {
 
     /// Handles `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`. Returns
     /// false (consuming nothing) when the `r`/`b` starts a plain identifier.
+    ///
+    /// Plain byte strings (`b"..."`) process backslash escapes like normal
+    /// strings; only `r`-prefixed forms are raw. Routing `b"..."` through
+    /// the raw-body reader (the pre-v2 behavior) desyncs on `b"\""`: the
+    /// escaped quote terminates the literal early and the rest of the file
+    /// lexes inside-out.
     fn raw_or_byte_prefix(&mut self) -> bool {
+        let is_raw = self.peek(0) == Some(b'r')
+            || (self.peek(0) == Some(b'b') && self.peek(1) == Some(b'r'));
         let mut ahead = 1;
         if self.peek(0) == Some(b'b') && self.peek(1) == Some(b'r') {
             ahead = 2;
         }
         let mut hashes = 0;
-        while self.peek(ahead) == Some(b'#') {
+        while is_raw && self.peek(ahead) == Some(b'#') {
             ahead += 1;
             hashes += 1;
         }
         match self.peek(ahead) {
             Some(b'"') => {
                 let line = self.line;
-                for _ in 0..=ahead {
-                    self.bump();
+                for _ in 0..ahead {
+                    self.bump(); // the r/b/br prefix and any opening #s
                 }
-                self.raw_string_body(hashes);
-                self.push_token(TokenKind::Literal, line);
+                if is_raw {
+                    self.bump(); // opening quote
+                    self.raw_string_body(hashes);
+                    self.push_token(TokenKind::Literal, line);
+                } else {
+                    // `b"..."` — escaped like a normal string.
+                    self.string_literal();
+                }
                 true
             }
             Some(b'\'') if hashes == 0 && self.peek(0) == Some(b'b') && ahead == 1 => {
@@ -366,10 +395,15 @@ impl<'a> Lexer<'a> {
             return;
         };
         let rest = rest.trim();
-        let Some(args) = rest.strip_prefix("allow") else {
-            self.out
-                .malformed
-                .push((line, format!("expected `allow(<rule>)`, found `{rest}`")));
+        let (kind, args) = if let Some(args) = rest.strip_prefix("allow") {
+            (AnnotationKind::Allow, args)
+        } else if let Some(args) = rest.strip_prefix("sanitize") {
+            (AnnotationKind::Sanitize, args)
+        } else {
+            self.out.malformed.push((
+                line,
+                format!("expected `allow(<rule>)` or `sanitize(<rule>)`, found `{rest}`"),
+            ));
             return;
         };
         let args = args.trim();
@@ -391,7 +425,7 @@ impl<'a> Lexer<'a> {
         if rules.is_empty() {
             self.out
                 .malformed
-                .push((line, "empty `allow()` clause".to_string()));
+                .push((line, "empty `allow()`/`sanitize()` clause".to_string()));
             return;
         }
         let reason = args[close + 1..]
@@ -400,6 +434,7 @@ impl<'a> Lexer<'a> {
             .map(|r| r.trim().to_string())
             .filter(|r| !r.is_empty());
         self.out.suppressions.push(Suppression {
+            kind,
             line,
             rules,
             reason,
@@ -499,6 +534,126 @@ real_ident();
     fn raw_string_with_hashes_terminates_correctly() {
         let ids = idents("let x = r##\"text \"# still inside\"##; after();");
         assert!(ids.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn sanitize_annotation_parses_with_kind() {
+        let lexed = lex("// em-lint: sanitize(nondet-taint) -- spans only observe\nfn f() {}\n");
+        assert_eq!(lexed.suppressions.len(), 1);
+        let s = &lexed.suppressions[0];
+        assert_eq!(s.kind, AnnotationKind::Sanitize);
+        assert_eq!(s.rules, vec!["nondet-taint"]);
+        assert_eq!(s.reason.as_deref(), Some("spans only observe"));
+        assert!(!s.trailing);
+    }
+
+    #[test]
+    fn allow_annotation_kind_is_allow() {
+        let lexed = lex("x(); // em-lint: allow(nondet-taint) -- latency header only\n");
+        assert_eq!(lexed.suppressions[0].kind, AnnotationKind::Allow);
+    }
+
+    // Regression: plain byte strings take the *escaped* path. The pre-v2
+    // lexer read `b"..."` with the raw-string reader, so `b"\""`
+    // terminated at the escaped quote, the tail of the literal lexed as
+    // code, and everything after the next real quote was swallowed as a
+    // phantom string — masking findings (or fabricating them from string
+    // contents).
+    #[test]
+    fn byte_string_escaped_quote_does_not_desync() {
+        let ids = idents("let b = b\"end\\\"quote\"; after_bytes(); let s = \"x\"; tail();");
+        assert!(ids.contains(&"after_bytes".to_string()), "ids: {ids:?}");
+        assert!(ids.contains(&"tail".to_string()), "ids: {ids:?}");
+        assert!(!ids.contains(&"quote".to_string()), "ids: {ids:?}");
+    }
+
+    #[test]
+    fn byte_string_escaped_backslash_then_real_quote_terminates() {
+        // `b"a\\"` is the two bytes `a\` — the final quote closes it.
+        let ids = idents("let b = b\"a\\\\\"; next_token();");
+        assert!(ids.contains(&"next_token".to_string()), "ids: {ids:?}");
+    }
+
+    // Regression battery for raw strings with hashes: quote-hash
+    // sequences shorter than the opener must stay inside the literal, at
+    // every hash depth, including multi-line bodies and byte-raw forms.
+    #[test]
+    fn raw_hash_strings_with_embedded_quote_hash_sequences() {
+        let cases: &[(&str, &[&str])] = &[
+            // `"#` inside an `r##` string is not a terminator.
+            ("let x = r##\"a \"# b\"##; ok1();", &["ok1"]),
+            // A bare quote inside `r#` is not a terminator.
+            ("let x = r#\"say \"hi\" twice\"#; ok2();", &["ok2"]),
+            // Backslashes are not escapes in raw strings.
+            ("let x = r\"back\\\"; ok3();", &["ok3"]),
+            // Byte-raw with hashes behaves like raw.
+            ("let x = br##\"x\"# y\"##; ok4();", &["ok4"]),
+            // Extra hashes after the terminator are ordinary tokens.
+            ("let x = r#\"body\"#; ok5();", &["ok5"]),
+            // Multi-line raw string with inner quotes.
+            ("let x = r#\"line1 \"q\"\nline2 \"#; ok6();", &["ok6"]),
+        ];
+        for (src, expect) in cases {
+            let ids = idents(src);
+            for e in *expect {
+                assert!(ids.contains(&e.to_string()), "{src}: missing {e}, got {ids:?}");
+            }
+            assert!(
+                !ids.iter().any(|i| i == "b" || i == "body" || i == "line2"),
+                "{src}: literal body leaked into tokens: {ids:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn raw_hash_string_line_numbers_survive_multiline_bodies() {
+        let lexed = lex("let a = r#\"one\ntwo\nthree\"#;\nafter();\n");
+        let after = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("after"))
+            .expect("after token");
+        assert_eq!(after.line, 4);
+    }
+
+    // Regression battery for nested block comments: every nesting shape
+    // must consume exactly the comment, leaving the following code intact.
+    #[test]
+    fn nested_block_comments_do_not_desync() {
+        let cases: &[&str] = &[
+            "/* a /* b */ c */ live1();",
+            "/**/ live1();",
+            "/* /**/ /**/ */ live1();",
+            "/*/ still a comment */ live1();",
+            "/* outer /* inner /* deepest */ */ */ live1();",
+            "/* \"not a string */ live1(); /* trailing */",
+            "/* multi\nline /* nested\n */ end */\nlive1();",
+        ];
+        for src in cases {
+            let ids = idents(src);
+            assert_eq!(
+                ids.iter().filter(|i| *i == "live1").count(),
+                1,
+                "{src:?}: expected exactly one live1, got {ids:?}"
+            );
+            assert!(
+                !ids.iter().any(|i| i == "a" || i == "inner" || i == "nested"),
+                "{src:?}: comment body leaked: {ids:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unterminated_nested_comment_consumes_to_eof_without_panic() {
+        let ids = idents("/* open /* deeper */ never closed\nghost();");
+        assert!(ids.is_empty(), "tokens fabricated from an open comment: {ids:?}");
+    }
+
+    #[test]
+    fn block_doc_comment_inside_code_marks_doc_lines() {
+        let lexed = lex("/** doc\nspans\n*/\npub fn f() {}\n");
+        assert!(lexed.doc_lines[0] && lexed.doc_lines[1] && lexed.doc_lines[2]);
+        assert!(!lexed.doc_lines[3]);
     }
 
     #[test]

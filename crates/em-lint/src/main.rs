@@ -1,17 +1,23 @@
 //! CLI for the workspace static-analysis pass.
 //!
 //! ```text
-//! em-lint check [--format human|json] [--root <dir>]
+//! em-lint check [--format human|json|sarif] [--root <dir>]
+//! em-lint graph [--format human|json] [--root <dir>]
 //! ```
 //!
-//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error —
-//! so `cargo run -p em-lint -- check` gates CI directly.
+//! `check` runs the full ruleset; `graph` dumps per-crate node/edge
+//! counts of the resolved call graph so reviewers can inspect resolution
+//! quality. Exit codes: `0` clean, `1` violations found, `2` usage or
+//! I/O error — so `cargo run -p em-lint -- check` gates CI directly
+//! (`graph` always exits `0` unless it errors).
 
+use em_lint::engine::graph_stats;
 use em_lint::{find_workspace_root, lint_workspace, report};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: em-lint check [--format human|json] [--root <dir>]";
+const USAGE: &str = "usage: em-lint check [--format human|json|sarif] [--root <dir>]\n\
+                     \x20      em-lint graph [--format human|json] [--root <dir>]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,11 +38,16 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<bool, String> {
     let mut iter = args.iter();
-    match iter.next().map(String::as_str) {
-        Some("check") => {}
+    let command = match iter.next().map(String::as_str) {
+        Some(cmd @ ("check" | "graph")) => cmd,
         Some(other) => return Err(format!("unknown command `{other}`\n{USAGE}")),
         None => return Err(USAGE.to_string()),
-    }
+    };
+    let formats: &[&str] = if command == "check" {
+        &["human", "json", "sarif"]
+    } else {
+        &["human", "json"]
+    };
     let mut format = "human".to_string();
     let mut root: Option<PathBuf> = None;
     while let Some(arg) = iter.next() {
@@ -46,8 +57,11 @@ fn run(args: &[String]) -> Result<bool, String> {
                     .next()
                     .ok_or_else(|| format!("--format needs a value\n{USAGE}"))?
                     .clone();
-                if format != "human" && format != "json" {
-                    return Err(format!("unknown format `{format}` (human|json)"));
+                if !formats.contains(&format.as_str()) {
+                    return Err(format!(
+                        "unknown format `{format}` ({})",
+                        formats.join("|")
+                    ));
                 }
             }
             "--root" => {
@@ -67,10 +81,29 @@ fn run(args: &[String]) -> Result<bool, String> {
                 .ok_or("no workspace root found (no ancestor Cargo.toml with [workspace])")?
         }
     };
+    if command == "graph" {
+        let stats =
+            graph_stats(&root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+        let rendered = match format.as_str() {
+            "json" => {
+                let mut s = report::render_graph_json(&stats);
+                s.push('\n');
+                s
+            }
+            _ => report::render_graph_human(&stats),
+        };
+        print!("{rendered}");
+        return Ok(true);
+    }
     let report = lint_workspace(&root).map_err(|e| format!("walking {}: {e}", root.display()))?;
     let rendered = match format.as_str() {
         "json" => {
             let mut s = report::render_json(&report);
+            s.push('\n');
+            s
+        }
+        "sarif" => {
+            let mut s = report::render_sarif(&report);
             s.push('\n');
             s
         }

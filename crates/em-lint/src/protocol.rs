@@ -1,0 +1,342 @@
+//! `fsync-protocol-order` — crash-safety protocol ordering (DESIGN.md §13).
+//!
+//! em-batch's durability story (DESIGN.md §12) is a *sequence*: shard
+//! bytes go to a tmp file and are fsynced, the tmp is renamed into place
+//! and the directory fsynced, and only then is the manifest appended —
+//! all under the run-directory flock. Any reordering silently reopens
+//! the torn-state window that the protocol exists to close, and a token
+//! rule cannot see ordering. This module checks it with a small
+//! intra-function automaton whose spec is **data** ([`ProtocolSpec`]),
+//! so future protocols (e.g. em-serve graceful shutdown) are added as a
+//! table entry, not as code.
+//!
+//! Mechanics: within each function in a spec's scope, the call sites of
+//! the spec's step events must appear in step order, cycling (a loop may
+//! run the sequence many times). A spec may declare a *precondition*
+//! event (the flock acquisition): steps before it are not expected, and
+//! checking arms only once it is seen. A function that ends mid-cycle
+//! has omitted the remaining steps and is reported at its last event.
+//! Functions with no step events at all are out of scope, as are tests.
+
+use crate::context::FileContext;
+use crate::graph::Graph;
+use crate::rules::Finding;
+
+/// The rule name, as written in annotations.
+pub const RULE: &str = "fsync-protocol-order";
+
+/// One required step of a protocol: the callee name to watch for and a
+/// human description of the action it performs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtocolStep {
+    /// Callee identifier that marks the step (matched as `event(`).
+    pub event: &'static str,
+    /// What the step does, for messages.
+    pub action: &'static str,
+}
+
+/// A protocol: an ordered step sequence scoped to crate + files (+ fns).
+#[derive(Debug, Clone, Copy)]
+pub struct ProtocolSpec {
+    /// Protocol name, for messages.
+    pub name: &'static str,
+    /// Crate the protocol lives in (hyphen-normalized).
+    pub krate: &'static str,
+    /// File stems the automaton runs over (`runner` for `runner.rs`).
+    pub files: &'static [&'static str],
+    /// When set, only these fns are checked; otherwise every fn in the
+    /// files that mentions at least one step event.
+    pub fns: Option<&'static [&'static str]>,
+    /// Event that arms the automaton (plus its description). Steps seen
+    /// before it are ignored — e.g. nothing is expected before the
+    /// run-directory flock is held.
+    pub precondition: Option<(&'static str, &'static str)>,
+    /// The required sequence, in order.
+    pub steps: &'static [ProtocolStep],
+}
+
+/// The protocols shipped with the workspace.
+pub const PROTOCOLS: &[ProtocolSpec] = &[
+    ProtocolSpec {
+        name: "shard-commit",
+        krate: "em-batch",
+        files: &["runner"],
+        fns: None,
+        precondition: Some(("try_lock", "acquire the run-directory flock")),
+        steps: &[
+            ProtocolStep {
+                event: "write_sync",
+                action: "write shard bytes to tmp file and fsync it",
+            },
+            ProtocolStep {
+                event: "rename_durable",
+                action: "rename tmp into place and fsync the directory",
+            },
+            ProtocolStep {
+                event: "append",
+                action: "append the manifest record under the held flock",
+            },
+        ],
+    },
+    ProtocolSpec {
+        name: "manifest-append",
+        krate: "em-batch",
+        files: &["manifest"],
+        fns: Some(&["append"]),
+        precondition: None,
+        steps: &[
+            ProtocolStep {
+                event: "write_all",
+                action: "write the record bytes",
+            },
+            ProtocolStep {
+                event: "flush",
+                action: "flush buffered bytes to the OS",
+            },
+            ProtocolStep {
+                event: "sync_all",
+                action: "fsync the manifest file",
+            },
+        ],
+    },
+];
+
+/// Runs every protocol automaton; returns `(file index, finding)` pairs.
+pub fn fsync_protocol_order(ctxs: &[FileContext], graph: &Graph) -> Vec<(usize, Finding)> {
+    let mut out = Vec::new();
+    for spec in PROTOCOLS {
+        for (f, node) in graph.fns.iter().enumerate() {
+            if node.is_test
+                || node.krate != spec.krate
+                || !spec.files.contains(&node.stem.as_str())
+                || spec.fns.is_some_and(|fns| !fns.contains(&node.name.as_str()))
+            {
+                continue;
+            }
+            check_fn(spec, graph, f, &ctxs[node.file], &mut out);
+        }
+    }
+    out
+}
+
+/// Runs one spec's automaton over one function body.
+fn check_fn(
+    spec: &ProtocolSpec,
+    graph: &Graph,
+    f: usize,
+    ctx: &FileContext,
+    out: &mut Vec<(usize, Finding)>,
+) {
+    let node = &graph.fns[f];
+    let toks = ctx.tokens();
+    // Event stream: call sites of precondition/step events, in token order.
+    let mut events: Vec<(&'static str, usize)> = Vec::new();
+    for k in graph.own_tokens(f) {
+        let Some(id) = toks[k].ident() else { continue };
+        if !toks.get(k + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        if let Some(step) = spec.steps.iter().find(|s| s.event == id) {
+            events.push((step.event, toks[k].line));
+        } else if let Some((p, _)) = spec.precondition.filter(|(p, _)| *p == id) {
+            events.push((p, toks[k].line));
+        }
+    }
+    if !events.iter().any(|(e, _)| spec.steps.iter().any(|s| s.event == *e)) {
+        return; // no step events — fn is outside this protocol
+    }
+
+    let mut armed = spec.precondition.is_none();
+    let mut expect = 0usize;
+    let mut diverged = false;
+    let mut last: Option<(&'static str, usize)> = None;
+    for (event, line) in events {
+        if let Some((pre, _)) = spec.precondition {
+            if event == pre {
+                armed = true;
+                continue;
+            }
+        }
+        if !armed {
+            let (pre, pre_action) = spec.precondition.unwrap_or(("", ""));
+            out.push((
+                node.file,
+                Finding {
+                    rule: RULE,
+                    line,
+                    alt_line: Some(node.decl_line),
+                    message: format!(
+                        "protocol `{}`: step `{}` before precondition `{}` ({}) in `{}`",
+                        spec.name, event, pre, pre_action, node.name
+                    ),
+                },
+            ));
+            armed = true; // report the breach once, then keep checking order
+        }
+        if diverged {
+            continue; // first divergence is the diagnosis; don't cascade
+        }
+        let step_idx = spec
+            .steps
+            .iter()
+            .position(|s| s.event == event)
+            .unwrap_or(0);
+        if step_idx != expect {
+            out.push((
+                node.file,
+                Finding {
+                    rule: RULE,
+                    line,
+                    alt_line: Some(node.decl_line),
+                    message: format!(
+                        "protocol `{}`: expected `{}` ({}) but found `{}` in `{}`",
+                        spec.name,
+                        spec.steps[expect].event,
+                        spec.steps[expect].action,
+                        event,
+                        node.name
+                    ),
+                },
+            ));
+            diverged = true;
+            continue;
+        }
+        expect = (expect + 1) % spec.steps.len();
+        last = Some((event, line));
+    }
+    if !diverged && expect != 0 {
+        let (last_event, last_line) = last.unwrap_or(("", node.decl_line));
+        out.push((
+            node.file,
+            Finding {
+                rule: RULE,
+                line: last_line,
+                alt_line: Some(node.decl_line),
+                message: format!(
+                    "protocol `{}`: sequence ends after `{}` without `{}` ({}) in `{}`",
+                    spec.name,
+                    last_event,
+                    spec.steps[expect].event,
+                    spec.steps[expect].action,
+                    node.name
+                ),
+            },
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let ctxs = vec![FileContext::new(path, src)];
+        let items: Vec<parser::FileItems> = ctxs.iter().map(parser::parse).collect();
+        let graph = Graph::build(&ctxs, &items, None);
+        fsync_protocol_order(&ctxs, &graph)
+            .into_iter()
+            .map(|(_, f)| f)
+            .collect()
+    }
+
+    const RUNNER: &str = "crates/em-batch/src/runner.rs";
+
+    #[test]
+    fn in_order_looping_commit_is_clean() {
+        let found = run(
+            RUNNER,
+            "pub fn execute() {\n\
+                 try_lock();\n\
+                 loop {\n\
+                     write_sync();\n\
+                     rename_durable();\n\
+                     append();\n\
+                 }\n\
+             }\n",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn rename_before_write_is_a_reorder() {
+        let found = run(
+            RUNNER,
+            "pub fn execute() {\n\
+                 try_lock();\n\
+                 rename_durable();\n\
+                 write_sync();\n\
+                 append();\n\
+             }\n",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].line, 3);
+        assert!(found[0].message.contains("expected `write_sync`"), "{}", found[0].message);
+        assert!(found[0].message.contains("found `rename_durable`"));
+    }
+
+    #[test]
+    fn missing_manifest_append_is_an_omission() {
+        let found = run(
+            RUNNER,
+            "pub fn execute() {\n\
+                 try_lock();\n\
+                 write_sync();\n\
+                 rename_durable();\n\
+             }\n",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].line, 4);
+        assert!(found[0].message.contains("without `append`"), "{}", found[0].message);
+    }
+
+    #[test]
+    fn step_before_flock_precondition_is_reported() {
+        let found = run(
+            RUNNER,
+            "pub fn execute() {\n\
+                 write_sync();\n\
+                 try_lock();\n\
+                 rename_durable();\n\
+                 append();\n\
+             }\n",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].line, 2);
+        assert!(found[0].message.contains("before precondition `try_lock`"));
+    }
+
+    #[test]
+    fn fns_without_step_events_are_out_of_scope() {
+        let found = run(
+            RUNNER,
+            "pub fn plan_only() { try_lock(); }\npub fn unrelated() { compute(); }\n",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn manifest_append_spec_only_checks_the_append_fn() {
+        let clean = run(
+            "crates/em-batch/src/manifest.rs",
+            "pub fn append() { write_all(); flush(); sync_all(); }\n\
+             pub fn load_and_repair() { sync_all(); }\n",
+        );
+        assert!(clean.is_empty(), "{clean:?}");
+        let dirty = run(
+            "crates/em-batch/src/manifest.rs",
+            "pub fn append() { write_all(); sync_all(); }\n",
+        );
+        assert_eq!(dirty.len(), 1, "{dirty:?}");
+        assert!(dirty[0].message.contains("expected `flush`"));
+    }
+
+    #[test]
+    fn other_crates_and_files_are_untouched() {
+        let found = run(
+            "crates/em-serve/src/server.rs",
+            "pub fn execute() { rename_durable(); }\n",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+}

@@ -1,10 +1,13 @@
 //! Rendering a [`Report`] for humans and for CI.
 //!
-//! The JSON form is emitted with a tiny self-contained writer (the crate
-//! is dependency-free by design) and is what the `lint-invariants` CI job
-//! uploads as an artifact.
+//! All forms are emitted with a tiny self-contained writer (the crate is
+//! dependency-free by design). The JSON form is what the
+//! `lint-invariants` CI job uploads as an artifact; the SARIF 2.1.0 form
+//! attaches findings to GitHub code scanning.
 
 use crate::engine::Report;
+use crate::graph::GraphStats;
+use crate::rules::RULE_NAMES;
 
 /// Renders the report as `file:line: [rule] message` lines plus a
 /// one-line summary — the default terminal format.
@@ -49,6 +52,92 @@ pub fn render_json(report: &Report) -> String {
         out.push('}');
     }
     out.push_str("]}");
+    out
+}
+
+/// Renders the report as a minimal SARIF 2.1.0 log (one run, one
+/// `em-lint` driver, one result per violation, `error` level throughout
+/// since every violation gates the build). Meta-rule violations appear
+/// with their meta rule id alongside the catalog rules.
+pub fn render_sarif(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+         \"name\":\"em-lint\",\"informationUri\":\
+         \"https://example.invalid/em-lint\",\"rules\":[",
+    );
+    for (i, rule) in RULE_NAMES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"id\":");
+        write_json_string(rule, &mut out);
+        out.push('}');
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"ruleId\":");
+        write_json_string(&v.rule, &mut out);
+        out.push_str(",\"level\":\"error\",\"message\":{\"text\":");
+        write_json_string(&v.message, &mut out);
+        out.push_str(
+            "},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":",
+        );
+        write_json_string(&v.file, &mut out);
+        out.push_str("},\"region\":{\"startLine\":");
+        out.push_str(&v.line.to_string());
+        out.push_str("}}}]}");
+    }
+    out.push_str("]}]}");
+    out
+}
+
+/// Renders call-graph statistics as JSON:
+/// `{"total_fns":N,"total_edges":N,"crates":{"core":{"fns":N,"edges":N},..}}`.
+pub fn render_graph_json(stats: &GraphStats) -> String {
+    let mut out = String::new();
+    out.push_str("{\"total_fns\":");
+    out.push_str(&stats.total_fns.to_string());
+    out.push_str(",\"total_edges\":");
+    out.push_str(&stats.total_edges.to_string());
+    out.push_str(",\"crates\":{");
+    for (i, (name, cs)) in stats.crates.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_string(name, &mut out);
+        out.push_str(":{\"fns\":");
+        out.push_str(&cs.fns.to_string());
+        out.push_str(",\"edges\":");
+        out.push_str(&cs.edges.to_string());
+        out.push_str("}");
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Renders call-graph statistics as an aligned human table.
+pub fn render_graph_human(stats: &GraphStats) -> String {
+    let mut out = String::new();
+    let width = stats
+        .crates
+        .keys()
+        .map(|k| k.len())
+        .max()
+        .unwrap_or(5)
+        .max("crate".len());
+    out.push_str(&format!("{:width$}  {:>6}  {:>6}\n", "crate", "fns", "edges"));
+    for (name, cs) in &stats.crates {
+        out.push_str(&format!("{name:width$}  {:>6}  {:>6}\n", cs.fns, cs.edges));
+    }
+    out.push_str(&format!(
+        "{:width$}  {:>6}  {:>6}\n",
+        "total", stats.total_fns, stats.total_edges
+    ));
     out
 }
 
@@ -107,5 +196,45 @@ mod tests {
     fn empty_report_renders_empty_array() {
         let json = render_json(&Report::default());
         assert!(json.contains("\"violations\":[]"));
+    }
+
+    #[test]
+    fn sarif_has_driver_rules_and_located_results() {
+        let sarif = render_sarif(&sample());
+        assert!(sarif.contains("\"version\":\"2.1.0\""));
+        assert!(sarif.contains("\"name\":\"em-lint\""));
+        assert!(sarif.contains("{\"id\":\"nondet-taint\"}"));
+        assert!(sarif.contains("\"ruleId\":\"float-partial-cmp\""));
+        assert!(sarif.contains("\"uri\":\"crates/x/src/a.rs\""));
+        assert!(sarif.contains("\"startLine\":7"));
+        assert!(sarif.contains("\"level\":\"error\""));
+    }
+
+    #[test]
+    fn empty_sarif_has_empty_results() {
+        let sarif = render_sarif(&Report::default());
+        assert!(sarif.contains("\"results\":[]"));
+        assert!(sarif.ends_with("]}]}"));
+    }
+
+    #[test]
+    fn graph_stats_render_as_json_and_table() {
+        use crate::graph::{CrateStats, GraphStats};
+        let mut stats = GraphStats {
+            total_fns: 3,
+            total_edges: 1,
+            ..GraphStats::default()
+        };
+        stats.crates.insert("core".into(), CrateStats { fns: 2, edges: 1 });
+        stats.crates.insert("em-x".into(), CrateStats { fns: 1, edges: 0 });
+        let json = render_graph_json(&stats);
+        assert_eq!(
+            json,
+            "{\"total_fns\":3,\"total_edges\":1,\"crates\":{\
+             \"core\":{\"fns\":2,\"edges\":1},\"em-x\":{\"fns\":1,\"edges\":0}}}"
+        );
+        let table = render_graph_human(&stats);
+        assert!(table.contains("crate"));
+        assert!(table.contains("total"));
     }
 }

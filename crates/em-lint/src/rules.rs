@@ -1,18 +1,23 @@
 //! The rule catalog.
 //!
-//! Each rule encodes one project invariant (DESIGN.md §9) as a scan over
-//! a [`FileContext`]. Rules return *raw* findings; suppression filtering
-//! and reporting live in [`crate::engine`].
+//! Each rule encodes one project invariant (DESIGN.md §9/§13). The
+//! per-file rules scan a [`FileContext`]; the workspace rules
+//! (`nondet-taint` in [`crate::taint`], `fsync-protocol-order` in
+//! [`crate::protocol`], and `panic-in-request-path` here) additionally
+//! consume the [`crate::graph`] call graph. Rules return *raw* findings;
+//! suppression filtering and reporting live in [`crate::engine`].
 //!
 //! | rule | invariant |
 //! |---|---|
 //! | `float-partial-cmp` | float comparisons must be total (`f64::total_cmp`), never `partial_cmp().unwrap()` — a NaN weight must not panic an explanation |
 //! | `hashmap-iter-order` | output-producing crates must not iterate hash-ordered collections — iteration order is seeded per process and would leak into (cached) output |
-//! | `wallclock-in-seeded-path` | seeded pipeline crates must not read wall clocks or thread ids — every stochastic input is an explicit seed |
-//! | `panic-in-request-path` | the serving request path must be total: no `unwrap`/`expect`/indexing panics between `read_request` and the response |
+//! | `nondet-taint` | no nondeterminism source may be reachable from a determinism sink through any depth of calls |
+//! | `fsync-protocol-order` | em-batch's crash-safety commit sequence must appear in protocol order |
+//! | `panic-in-request-path` | no panic site may be reachable from a request handler: no `unwrap`/`expect`/indexing panics anywhere a request can flow |
 //! | `pub-item-docs` | public library items carry doc comments |
 
 use crate::context::{FileContext, FileKind};
+use crate::graph::Graph;
 use crate::lexer::{Token, TokenKind};
 
 /// A single rule finding before suppression filtering.
@@ -22,6 +27,10 @@ pub struct Finding {
     pub rule: &'static str,
     /// 1-based line of the offending token.
     pub line: usize,
+    /// Alternate suppression anchor: for graph rules, the declaration
+    /// line of the enclosing fn, so one per-function `allow` can cover a
+    /// body with several sites. `None` for purely line-local rules.
+    pub alt_line: Option<usize>,
     /// Human-readable description with the expected fix.
     pub message: String,
 }
@@ -32,8 +41,9 @@ pub struct Finding {
 /// suppressed.)
 pub const RULE_NAMES: &[&str] = &[
     "float-partial-cmp",
+    "fsync-protocol-order",
     "hashmap-iter-order",
-    "wallclock-in-seeded-path",
+    "nondet-taint",
     "panic-in-request-path",
     "pub-item-docs",
 ];
@@ -44,6 +54,8 @@ pub const RULE_NAMES: &[&str] = &[
 /// (DESIGN.md §11) moved probability computation into them: their f64
 /// accumulation order now IS the explanation output, so hash-ordered
 /// iteration there would break the kernel's bit-identity contract.
+/// `em-lint` dogfoods its own rule: lint reports are diffed in CI, so
+/// their ordering is output too.
 const OUTPUT_CRATES: &[&str] = &[
     "core",
     "em-lime",
@@ -53,41 +65,15 @@ const OUTPUT_CRATES: &[&str] = &[
     "em-matchers",
     "em-codec",
     "em-batch",
+    "em-lint",
 ];
 
-/// Crates allowed to read wall clocks: benchmarks time by definition,
-/// `em-serve` timestamps metrics/latency histograms (never seeds), and
-/// `em-obs` is the single sanctioned clock-reading crate in the pipeline
-/// — its spans observe stage durations without feeding seeds or scores
-/// (DESIGN.md §10).
-///
-/// `em-batch` is deliberately NOT listed: its entire output (shard files
-/// and manifest) carries a byte-identity guarantee across kill/resume,
-/// so a clock read anywhere in the crate is a latent determinism bug.
-/// All timing in its summary JSON flows through `em-obs` spans recorded
-/// inside the explainers (DESIGN.md §12).
-const WALLCLOCK_CRATES: &[&str] = &["bench", "em-serve", "em-obs"];
-
-/// Request-path modules that must never panic on input: `em-serve`'s
-/// wire handling, plus the shared codec it re-exports from `em-codec`
-/// (hoisted there so `em-batch` emits server-identical bytes — the same
-/// untrusted-input rules follow the code to its new home).
-const REQUEST_PATH_FILES: &[&str] = &[
-    "crates/em-serve/src/http.rs",
-    "crates/em-serve/src/codec.rs",
-    "crates/em-serve/src/json.rs",
-    "crates/em-serve/src/server.rs",
-    "crates/em-codec/src/json.rs",
-    "crates/em-codec/src/explain.rs",
-];
-
-/// Runs every applicable rule over `ctx`.
+/// Runs every per-file rule over `ctx`. The workspace rules run once per
+/// tree in [`crate::engine`], not here.
 pub fn run_all(ctx: &FileContext) -> Vec<Finding> {
     let mut out = Vec::new();
     float_partial_cmp(ctx, &mut out);
     hashmap_iter_order(ctx, &mut out);
-    wallclock_in_seeded_path(ctx, &mut out);
-    panic_in_request_path(ctx, &mut out);
     pub_item_docs(ctx, &mut out);
     out.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(b.rule)));
     out
@@ -134,6 +120,7 @@ fn float_partial_cmp(ctx: &FileContext, out: &mut Vec<Finding>) {
             out.push(Finding {
                 rule: "float-partial-cmp",
                 line: t.line,
+                alt_line: None,
                 message: "`partial_cmp(..).unwrap()/expect(..)` panics on NaN; \
                           use `f64::total_cmp` for a total, deterministic order"
                     .to_string(),
@@ -156,36 +143,22 @@ const HASH_ITER_METHODS: &[&str] = &[
     "drain",
 ];
 
-/// `hashmap-iter-order`: in output-producing crates, flags iteration over
-/// locals bound to `HashMap`/`HashSet`. `RandomState` seeds the order per
-/// process, so anything downstream of the iteration — sorted-by-equal-key
-/// lists, float accumulations, serialized maps — can differ between two
-/// runs with identical seeds. Use `BTreeMap`/`BTreeSet` or sort first.
-fn hashmap_iter_order(ctx: &FileContext, out: &mut Vec<Finding>) {
-    if !OUTPUT_CRATES.contains(&ctx.crate_name.as_str())
-        || !matches!(ctx.kind, FileKind::LibrarySrc | FileKind::Binary)
-    {
-        return;
-    }
+/// All hash-order iteration sites in a file, as `(token index, line,
+/// collection name)`, in token order. Shared between the per-file
+/// `hashmap-iter-order` rule and the taint pass's source detection.
+///
+/// A site is either `name.iter()`-style (any [`HASH_ITER_METHODS`]
+/// method on a tracked local or declared field, including `self.name`
+/// receivers) or a `for .. in name { .. }` loop over one.
+pub(crate) fn hash_iter_sites(ctx: &FileContext) -> Vec<(usize, usize, String)> {
     let toks = ctx.tokens();
-    let flag = |out: &mut Vec<Finding>, line: usize, what: &str| {
-        out.push(Finding {
-            rule: "hashmap-iter-order",
-            line,
-            message: format!(
-                "{what} iterates a hash-ordered collection in an output-producing \
-                 crate; order is seeded per process — use BTreeMap/BTreeSet or \
-                 collect and sort deterministically"
-            ),
-        });
-    };
+    let tracked =
+        |name: &str| ctx.hash_locals.contains(name) || ctx.hash_fields.contains(name);
+    let mut sites = Vec::new();
     for (i, t) in toks.iter().enumerate() {
-        if ctx.is_test_line(t.line) {
-            continue;
-        }
-        // `name.iter()` and friends on a tracked hash local.
+        // `name.iter()` and friends on a tracked collection.
         if let Some(name) = t.ident() {
-            if ctx.hash_locals.contains(name)
+            if tracked(name)
                 && toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
                 && toks
                     .get(i + 2)
@@ -193,14 +166,11 @@ fn hashmap_iter_order(ctx: &FileContext, out: &mut Vec<Finding>) {
                     .is_some_and(|m| HASH_ITER_METHODS.contains(&m))
                 && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
             {
-                flag(
-                    out,
-                    t.line,
-                    &format!("`{name}.{}()`", toks[i + 2].ident().unwrap_or("")),
-                );
+                let method = toks[i + 2].ident().unwrap_or("");
+                sites.push((i, t.line, format!("{name}.{method}()")));
             }
         }
-        // `for x in [&[mut]] name { .. }` over a tracked hash local.
+        // `for x in [&[mut]] [self.]name { .. }` over a tracked collection.
         if t.is_ident("for") {
             // Find the `in` at nesting depth 0 before the loop body.
             let mut j = i + 1;
@@ -225,84 +195,112 @@ fn hashmap_iter_order(ctx: &FileContext, out: &mut Vec<Finding>) {
             {
                 k += 1;
             }
+            // A `self.name` receiver: step to the field ident.
+            if toks.get(k).is_some_and(|t| t.is_ident("self"))
+                && toks.get(k + 1).is_some_and(|t| t.is_punct('.'))
+            {
+                k += 2;
+            }
             if let Some(name) = toks.get(k).and_then(|t| t.ident()) {
-                if ctx.hash_locals.contains(name)
-                    && toks.get(k + 1).is_some_and(|t| t.is_punct('{'))
-                {
-                    flag(out, t.line, &format!("`for .. in {name}`"));
+                if tracked(name) && toks.get(k + 1).is_some_and(|t| t.is_punct('{')) {
+                    sites.push((i, t.line, format!("for .. in {name}")));
                 }
             }
         }
     }
+    sites
 }
 
-/// `wallclock-in-seeded-path`: flags `SystemTime::now()`, `Instant::now()`
-/// and `thread::current().id()` outside the crates allowed to observe
-/// time. The pipeline's determinism contract (DESIGN.md §7) requires every
-/// stochastic input to be an explicit seed; a wall-clock read is an
-/// ambient seed that silently breaks serial==parallel bit-equality.
-fn wallclock_in_seeded_path(ctx: &FileContext, out: &mut Vec<Finding>) {
-    if WALLCLOCK_CRATES.contains(&ctx.crate_name.as_str())
-        || matches!(ctx.kind, FileKind::Bench | FileKind::Vendor)
+/// `hashmap-iter-order`: in output-producing crates, flags iteration over
+/// locals and declared fields bound to `HashMap`/`HashSet`. `RandomState`
+/// seeds the order per process, so anything downstream of the iteration —
+/// sorted-by-equal-key lists, float accumulations, serialized maps — can
+/// differ between two runs with identical seeds. Use
+/// `BTreeMap`/`BTreeSet` or sort first.
+fn hashmap_iter_order(ctx: &FileContext, out: &mut Vec<Finding>) {
+    if !OUTPUT_CRATES.contains(&ctx.crate_name.as_str())
+        || !matches!(ctx.kind, FileKind::LibrarySrc | FileKind::Binary)
     {
         return;
     }
-    let toks = ctx.tokens();
-    for (i, t) in toks.iter().enumerate() {
-        if ctx.is_test_line(t.line) {
+    for (_, line, what) in hash_iter_sites(ctx) {
+        if ctx.is_test_line(line) {
             continue;
         }
-        let qualified_now = (t.is_ident("SystemTime") || t.is_ident("Instant"))
-            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
-            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
-            && toks.get(i + 3).is_some_and(|t| t.is_ident("now"));
-        if qualified_now {
-            out.push(Finding {
-                rule: "wallclock-in-seeded-path",
-                line: t.line,
-                message: format!(
-                    "`{}::now()` in a seeded pipeline crate; clocks are ambient \
-                     nondeterminism — thread timing through explicit seeds/config \
-                     (only `bench`, `em-serve` metrics, and `em-obs` spans may \
-                     read time)",
-                    t.ident().unwrap_or("")
-                ),
-            });
-        }
-        let thread_id = t.is_ident("thread")
-            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
-            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
-            && toks.get(i + 3).is_some_and(|t| t.is_ident("current"));
-        if thread_id {
-            out.push(Finding {
-                rule: "wallclock-in-seeded-path",
-                line: t.line,
-                message: "`thread::current()` in a seeded pipeline crate; thread \
-                          identity is scheduler-dependent and must not feed seeds \
-                          or scores"
-                    .to_string(),
-            });
-        }
+        out.push(Finding {
+            rule: "hashmap-iter-order",
+            line,
+            alt_line: None,
+            message: format!(
+                "`{what}` iterates a hash-ordered collection in an output-producing \
+                 crate; order is seeded per process — use BTreeMap/BTreeSet or \
+                 collect and sort deterministically"
+            ),
+        });
     }
 }
 
-/// `panic-in-request-path`: in `em-serve`'s request-handling modules,
-/// flags `.unwrap()`, `.expect(..)`, `panic!`/`unreachable!`/`todo!`, and
-/// slice/array indexing (`x[i]`). A malformed or adversarial request must
-/// produce a 4xx/5xx response, never tear down a worker.
-fn panic_in_request_path(ctx: &FileContext, out: &mut Vec<Finding>) {
-    if !REQUEST_PATH_FILES.contains(&ctx.path.as_str()) {
-        return;
+/// Entry points of `panic-in-request-path` reachability: the serving
+/// connection loop and the codec surfaces that parse or render untrusted
+/// bytes (shared with em-batch so batch output stays server-identical).
+pub const PANIC_ROOTS: &[(&str, &str)] = &[
+    ("em-serve", "handle_connection"),
+    ("em-serve", "read_request"),
+    ("em-codec", "run_explain"),
+    ("em-codec", "run_explain_traced"),
+    ("em-codec", "parse"),
+    ("em-codec", "to_json"),
+];
+
+/// Crates the panic traversal may enter. The explainer core is excluded
+/// deliberately: its contract is seeded determinism, not totality on
+/// adversarial input — requests reach it only after codec validation.
+pub const PANIC_SCOPE: &[&str] = &["em-serve", "em-codec", "em-obs"];
+
+/// `panic-in-request-path` (v2): walks the call graph from the request
+/// handlers ([`PANIC_ROOTS`]) through every helper in [`PANIC_SCOPE`]
+/// and flags `.unwrap()`, `.expect(..)`, `panic!`-family macros, and
+/// slice/array indexing in any reached function. A malformed or
+/// adversarial request must produce a 4xx/5xx response, never tear down
+/// a worker — and v1's file allowlist could not see a panicky helper one
+/// module away. Returns `(file index, finding)` pairs.
+pub fn panic_in_request_path(ctxs: &[FileContext], graph: &Graph) -> Vec<(usize, Finding)> {
+    let scope: std::collections::BTreeSet<String> =
+        PANIC_SCOPE.iter().map(|s| s.to_string()).collect();
+    let mut roots = Vec::new();
+    for &(krate, fname) in PANIC_ROOTS {
+        roots.extend(graph.find(krate, fname));
     }
+    let preds = graph.reachable(&roots, Some(&scope), &|_| false);
+    let mut out = Vec::new();
+    for (&f, _) in &preds {
+        let node = &graph.fns[f];
+        let ctx = &ctxs[node.file];
+        for (line, message) in panic_sites(ctx, &graph.own_tokens(f)) {
+            out.push((
+                node.file,
+                Finding {
+                    rule: "panic-in-request-path",
+                    line,
+                    alt_line: Some(node.decl_line),
+                    message: format!(
+                        "{message} (in `{}`, reachable via {})",
+                        node.name,
+                        graph.chain(&preds, f)
+                    ),
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// Token-level panic-site detection over one fn's own tokens.
+fn panic_sites(ctx: &FileContext, own: &[usize]) -> Vec<(usize, String)> {
     let toks = ctx.tokens();
-    let flag = |out: &mut Vec<Finding>, line: usize, msg: String| {
-        out.push(Finding {
-            rule: "panic-in-request-path",
-            line,
-            message: msg,
-        });
-    };
-    for (i, t) in toks.iter().enumerate() {
+    let mut out = Vec::new();
+    for &i in own {
+        let t = &toks[i];
         if ctx.is_test_line(t.line) {
             continue;
         }
@@ -314,27 +312,25 @@ fn panic_in_request_path(ctx: &FileContext, out: &mut Vec<Finding>) {
                     // method, not `Option::expect`; skip that one receiver.
                     let receiver_is_self = i >= 2 && toks[i - 2].is_ident("self") && id == "expect";
                     if !receiver_is_self {
-                        flag(
-                            out,
+                        out.push((
                             t.line,
                             format!(
                                 "`.{id}(..)` in the request path can panic on \
                                  malformed input; return an error response instead"
                             ),
-                        );
+                        ));
                     }
                 }
                 "panic" | "unreachable" | "todo" | "unimplemented"
                     if toks.get(i + 1).is_some_and(|t| t.is_punct('!')) =>
                 {
-                    flag(
-                        out,
+                    out.push((
                         t.line,
                         format!(
                             "`{id}!` in the request path; handle the case and \
-                                 return an error response instead"
+                             return an error response instead"
                         ),
-                    );
+                    ));
                 }
                 _ => {}
             }
@@ -355,16 +351,16 @@ fn panic_in_request_path(ctx: &FileContext, out: &mut Vec<Finding>) {
                 .ident()
                 .is_some_and(|id| matches!(id, "in" | "return" | "else" | "match" | "mut"));
             if prev_ends_expr && !is_macro && !is_keyword {
-                flag(
-                    out,
+                out.push((
                     t.line,
                     "slice/array indexing in the request path panics when out of \
                      bounds; use `.get(..)` or prove the bound with a suppression"
                         .to_string(),
-                );
+                ));
             }
         }
     }
+    out
 }
 
 /// Item keywords that `pub` can introduce (after optional `unsafe` /
@@ -420,6 +416,7 @@ fn pub_item_docs(ctx: &FileContext, out: &mut Vec<Finding>) {
             out.push(Finding {
                 rule: "pub-item-docs",
                 line: t.line,
+                alt_line: None,
                 message: format!("public {kw} `{name}` has no doc comment"),
             });
         }
@@ -427,7 +424,9 @@ fn pub_item_docs(ctx: &FileContext, out: &mut Vec<Finding>) {
 }
 
 /// Whether a doc comment sits directly above `line`, allowing attribute
-/// lines (`#[derive(..)]`, possibly multi-line) in between.
+/// lines (`#[derive(..)]`, possibly multi-line) and standalone em-lint
+/// annotation comments (`// em-lint: sanitize(..) -- ..` above a fn) in
+/// between.
 fn has_doc_above(ctx: &FileContext, line: usize) -> bool {
     // Attribute lines: lines whose first token is `#`. Precompute lazily
     // by scanning tokens of each candidate line via the token stream.
@@ -463,10 +462,16 @@ fn has_doc_above(ctx: &FileContext, line: usize) -> bool {
             i += 1;
         }
     }
+    let annotation_line = |l: usize| {
+        ctx.lexed
+            .suppressions
+            .iter()
+            .any(|s| !s.trailing && s.line == l)
+    };
     let mut l = line.saturating_sub(1);
     while l >= 1 {
         let idx = l - 1;
-        if attr_lines.get(idx).copied().unwrap_or(false) {
+        if attr_lines.get(idx).copied().unwrap_or(false) || annotation_line(l) {
             l -= 1;
             continue;
         }

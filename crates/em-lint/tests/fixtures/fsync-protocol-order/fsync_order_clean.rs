@@ -1,0 +1,20 @@
+// Fixture (linted as crates/em-batch/src/runner.rs): the shard-commit
+// protocol exactly as shipped — flock first, then write/fsync, rename,
+// manifest append, cycling once per shard. Nothing to report, including
+// for fns that mention no step events at all.
+
+/// Fixture function: in-order looping commit.
+pub fn execute() {
+    try_lock();
+    for _shard in 0..3 {
+        write_sync();
+        rename_durable();
+        append();
+    }
+}
+
+/// Fixture function: takes the lock but commits nothing — a fn with no
+/// step events is outside the protocol.
+pub fn plan_only() {
+    try_lock();
+}

@@ -1,0 +1,20 @@
+// Fixture (linted as crates/em-batch/src/runner.rs): the shard-commit
+// protocol run out of order. Renaming before the tmp write/fsync
+// reopens the torn-shard window DESIGN.md §12 closes; ending mid-cycle
+// omits a required step.
+
+/// Fixture function: rename before write — the classic reordering.
+pub fn execute() {
+    try_lock();
+    rename_durable(); //~ fsync-protocol-order
+    write_sync();
+    append();
+}
+
+/// Fixture function: sequence ends after the rename, never appending
+/// the manifest record — the commit is invisible to resume.
+pub fn resume_shard() {
+    try_lock();
+    write_sync();
+    rename_durable(); //~ fsync-protocol-order
+}

@@ -1,0 +1,13 @@
+// Fixture (linted as crates/em-serve/src/server.rs): taint findings
+// carry the enclosing fn's declaration line as an alternate anchor, so
+// one justified `allow` on the declaration covers every source site in
+// the body.
+
+use std::time::Instant;
+
+/// Fixture function: determinism sink with a fn-level allow.
+pub fn handle_explain() -> u64 { // em-lint: allow(nondet-taint) -- fixture: latency for the timing header only; never touches explanation bytes
+    let start = Instant::now();
+    let end = Instant::now();
+    (end.duration_since(start)).as_nanos() as u64
+}

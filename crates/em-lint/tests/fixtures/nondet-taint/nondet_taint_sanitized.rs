@@ -1,0 +1,18 @@
+// Fixture (linted as crates/em-serve/src/server.rs): a declared
+// sanitizer is a taint barrier — traversal stops at the annotated fn
+// and never enters its body, so the clock inside it is not reported.
+// This is the mechanism that keeps em-obs's sanctioned observability
+// clock out of seeded-path reports.
+
+use std::time::Instant;
+
+/// Fixture function: determinism sink (serve handler).
+pub fn handle_explain() -> u64 {
+    observe_stage()
+}
+
+// em-lint: sanitize(nondet-taint) -- fixture: sanctioned observability clock; durations feed metrics only, never seeds or output bytes
+fn observe_stage() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,32 @@
+// Fixture (linted as crates/em-serve/src/server.rs): an ambient clock
+// two helper hops below a determinism sink. The v1 rule
+// (`wallclock-in-seeded-path`) exempted the whole em-serve crate by
+// path, so this exact source was invisible; v2 walks the call graph
+// forward from `handle_explain` and reports it with the witness chain.
+// The golden suite re-runs the v1 logic over this file to prove it
+// stays silent.
+
+use std::time::Instant;
+
+/// Fixture function: determinism sink (serve handler).
+pub fn handle_explain() -> u64 {
+    seed_material()
+}
+
+/// Fixture function: innocent-looking intermediary — no source tokens.
+fn seed_material() -> u64 {
+    jitter() ^ 0x9E37_79B9
+}
+
+/// Fixture function: the buried source.
+fn jitter() -> u64 {
+    let t = Instant::now(); //~ nondet-taint
+    t.elapsed().as_nanos() as u64
+}
+
+/// Fixture function: also reads the clock, but nothing on a sink path
+/// calls it — reachability, not file path, decides scope.
+pub fn offline_profiler() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}

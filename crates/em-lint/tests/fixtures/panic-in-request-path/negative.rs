@@ -1,5 +1,16 @@
-// Fixture (linted as crates/em-serve/src/http.rs): total request handling
-// — errors flow to a response, lookups use `.get`, tests may panic.
+// Fixture (linted as crates/em-serve/src/http.rs): total request
+// handling — errors flow to a response, lookups use `.get`, tests may
+// panic, and a panicking fn nothing on the request path calls is out
+// of scope (reachability, not file path, decides).
+
+/// Fixture function: request-path root calling only total helpers.
+pub fn read_request(raw: &str, buf: &[u8]) -> Result<(), String> {
+    let _header = parse_header(raw)?;
+    let _first = first_line(buf);
+    let _found = lookup(&[], 0);
+    let _pair = array_literal_is_not_indexing();
+    Ok(())
+}
 
 /// Fixture function.
 pub fn parse_header(raw: &str) -> Result<(String, String), String> {
@@ -24,6 +35,12 @@ pub fn array_literal_is_not_indexing() -> [u8; 2] {
     let attrs = vec![1, 2, 3];
     let _ = attrs;
     pair
+}
+
+/// Fixture function: panics, but no handler root reaches it — a debug
+/// helper in a request-path file is still out of the request path.
+pub fn offline_debug_dump(buf: &[u8]) -> u8 {
+    buf[0]
 }
 
 #[cfg(test)]

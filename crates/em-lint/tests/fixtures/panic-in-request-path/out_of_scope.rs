@@ -1,6 +1,7 @@
-// Fixture (linted as crates/em-serve/src/metrics.rs): metrics is not a
-// request-path module, so the rule does not apply (clippy::unwrap_used
-// still covers it at the crate level).
+// Fixture (linted as crates/em-serve/src/metrics.rs): fns no handler
+// root reaches are outside the request path even inside an in-scope
+// crate — the metrics renderer may lock-and-expect because only the
+// scrape endpoint's thread, not a request worker, runs it here.
 
 /// Fixture function.
 pub fn bucket(upper_bounds: &[f64], v: f64) -> usize {
@@ -10,7 +11,8 @@ pub fn bucket(upper_bounds: &[f64], v: f64) -> usize {
         .unwrap_or(upper_bounds.len())
 }
 
-/// Fixture function.
+/// Fixture function: panics on poisoning, but nothing reachable from a
+/// handler root calls it in this file.
 pub fn locked_counter(counter: &std::sync::Mutex<u64>) -> u64 {
     *counter.lock().expect("metrics mutex poisoned")
 }

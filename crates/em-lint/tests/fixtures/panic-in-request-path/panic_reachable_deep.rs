@@ -1,0 +1,25 @@
+// Fixture (linted as crates/em-serve/src/http.rs): a panic three
+// helper hops below the `read_request` handler root. The v1 rule only
+// scanned tokens inside an allowlisted set of request-path files; v2
+// follows the call graph to any depth and names the witness chain in
+// the message.
+
+/// Fixture function: request-path root.
+pub fn read_request(buf: &[u8]) -> u8 {
+    step_one(buf)
+}
+
+/// Fixture function: hop one.
+fn step_one(buf: &[u8]) -> u8 {
+    step_two(buf)
+}
+
+/// Fixture function: hop two.
+fn step_two(buf: &[u8]) -> u8 {
+    step_three(buf)
+}
+
+/// Fixture function: the buried panic.
+fn step_three(buf: &[u8]) -> u8 {
+    buf.first().copied().unwrap() //~ panic-in-request-path
+}

@@ -1,5 +1,16 @@
-// Fixture (linted as crates/em-serve/src/http.rs): every panic class the
-// request path must not contain.
+// Fixture (linted as crates/em-serve/src/http.rs): every panic class
+// the request path must not contain, each reachable from the
+// `read_request` handler root (v2 scopes the rule by call-graph
+// reachability from the handler roots, not by file path).
+
+/// Fixture function: request-path root fanning out to the offenders.
+pub fn read_request(raw: &str, buf: &[u8]) -> u16 {
+    let (_name, _value) = parse_header(raw);
+    let _len = content_length(&[]);
+    let _first = first_line(buf);
+    let _head = sliced(buf, 2);
+    dispatch("GET")
+}
 
 /// Fixture function.
 pub fn parse_header(raw: &str) -> (String, String) {

@@ -1,5 +1,13 @@
 // Fixture (linted as crates/em-serve/src/json.rs): suppressions are
 // rule-specific — allowing one rule on a line does not silence another.
+// Both fns are reached from the `read_request` root so the graph-based
+// panic rule engages.
+
+/// Fixture function: request-path root.
+pub fn read_request(v: Vec<f64>) -> Vec<f64> {
+    let once = partially_suppressed(v);
+    multi_rule_allow(once)
+}
 
 /// Fixture function: the line below violates BOTH float-partial-cmp and
 /// panic-in-request-path; only the former is suppressed.

@@ -79,12 +79,12 @@ impl ShardedCache {
 
     fn shard(&self, key: &str) -> &Mutex<HashMap<String, Entry>> {
         let idx = (fnv1a(key.as_bytes()) % self.shards.len() as u64) as usize;
-        &self.shards[idx]
+        &self.shards[idx] // em-lint: allow(panic-in-request-path) -- idx < shards.len() by the modulo above
     }
 
     /// Returns the cached body for `key`, refreshing its recency.
     pub fn get(&self, key: &str) -> Option<String> {
-        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned"); // em-lint: allow(panic-in-request-path) -- poisoning means a worker already panicked; propagating is the correct failure mode
         match shard.get_mut(key) {
             Some(entry) => {
                 entry.tick = self.tick.fetch_add(1, Ordering::Relaxed);
@@ -102,7 +102,7 @@ impl ShardedCache {
     /// used entry of the shard when it is full.
     pub fn insert(&self, key: String, body: String) {
         let tick = self.tick.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned"); // em-lint: allow(panic-in-request-path) -- poisoning means a worker already panicked; propagating is the correct failure mode
         if !shard.contains_key(&key) && shard.len() >= self.capacity_per_shard {
             if let Some(oldest) = shard
                 .iter()
@@ -120,7 +120,7 @@ impl ShardedCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .map(|s| s.lock().expect("cache shard poisoned").len()) // em-lint: allow(panic-in-request-path) -- poisoning means a worker already panicked; propagating is the correct failure mode
             .sum()
     }
 

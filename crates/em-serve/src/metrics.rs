@@ -103,7 +103,7 @@ impl Metrics {
 
     /// Records one request: its endpoint, latency, and whether it was
     /// answered with a non-2xx status.
-    pub fn record(&self, endpoint: Endpoint, latency_us: u64, is_error: bool) {
+    pub fn record(&self, endpoint: Endpoint, latency_us: u64, is_error: bool) { // em-lint: allow(panic-in-request-path) -- endpoint/bucket indices are bounded by Endpoint::index() and position()'s unwrap_or fallback
         let series = &self.series[endpoint.index()];
         series.requests.fetch_add(1, Ordering::Relaxed);
         if is_error {
@@ -130,7 +130,7 @@ impl Metrics {
     /// filled during `/explain`) into the stage histograms. Stages the
     /// request never entered (e.g. everything on a cache hit) are skipped
     /// rather than observed as zeros.
-    pub fn record_explain_stages(&self, trace: &em_obs::Collector) {
+    pub fn record_explain_stages(&self, trace: &em_obs::Collector) { // em-lint: allow(panic-in-request-path) -- stage/bucket indices are bounded by Stage::index() and position()'s unwrap_or fallback
         for stage in em_obs::Stage::all() {
             if trace.stage_entries(stage) == 0 {
                 continue;
@@ -160,7 +160,7 @@ impl Metrics {
     /// Renders the Prometheus text exposition, including the cache
     /// counters passed in (the cache lives next to the registry in the
     /// server state).
-    pub fn render(&self, cache: &CacheStats, cache_len: usize) -> String {
+    pub fn render(&self, cache: &CacheStats, cache_len: usize) -> String { // em-lint: allow(panic-in-request-path) -- every index is an enum index or i < LATENCY_BUCKETS_US.len() from enumerate(); arrays are one cell longer for the +Inf bucket
         let mut out = String::new();
         out.push_str("# TYPE em_serve_requests_total counter\n");
         for ep in Endpoint::all() {

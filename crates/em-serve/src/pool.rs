@@ -56,7 +56,7 @@ impl<T> BoundedQueue<T> {
 
     /// Enqueues an item, or returns it if the queue is full/closed.
     pub fn push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = self.state.lock().expect("queue poisoned"); // em-lint: allow(panic-in-request-path) -- poisoning means a worker already panicked; propagating is the correct failure mode
         if state.closed {
             return Err(PushError::Closed(item));
         }
@@ -93,7 +93,7 @@ impl<T> BoundedQueue<T> {
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue poisoned").items.len()
+        self.state.lock().expect("queue poisoned").items.len() // em-lint: allow(panic-in-request-path) -- poisoning means a worker already panicked; propagating is the correct failure mode
     }
 
     /// Whether the queue is currently empty.

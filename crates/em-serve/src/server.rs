@@ -285,7 +285,7 @@ fn route(state: &AppState, request: &Request) -> (Endpoint, Response, bool) {
 }
 
 fn handle_explain(state: &AppState, request: &Request) -> Response {
-    let start = Instant::now();
+    let start = Instant::now(); // em-lint: allow(nondet-taint) -- latency for the X-Compute-Micros header and metrics only; never touches explanation bytes
     let decoded = match codec::decode_explain_request(&request.body, &state.schema, &state.defaults)
     {
         Ok(d) => d,

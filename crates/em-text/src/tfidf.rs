@@ -41,6 +41,7 @@ impl TfIdfVectorizerBuilder {
     pub fn build(self) -> TfIdfVectorizer {
         let n = self.doc_count.max(1) as f64;
         let idf = self
+            // em-lint: allow(hashmap-iter-order, nondet-taint) -- per-key map from one HashMap into another; consumers only do point lookups, so iteration order cannot reach any output
             .doc_freq
             .into_iter()
             .map(|(t, df)| {

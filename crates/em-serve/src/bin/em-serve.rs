@@ -33,6 +33,8 @@ FLAGS:
     --samples N          default perturbation samples      [default: 500]
     --seed N             default explanation seed          [default: 0]
     --slow-ms N          slow-request log threshold (ms), 0 disables [default: 1000]
+    --request-timeout-ms N  total per-connection read+write budget (ms) [default: 30000]
+    --queue-age-ms N     discard connections queued longer than this (ms) [default: 10000]
     --model PATH         load logistic coefficients instead of training
     --save-model PATH    write trained coefficients after startup training
     --help               print this help
@@ -50,6 +52,8 @@ struct Args {
     samples: usize,
     seed: u64,
     slow_ms: u64,
+    request_timeout_ms: u64,
+    queue_age_ms: u64,
     model: Option<String>,
     save_model: Option<String>,
 }
@@ -68,6 +72,8 @@ impl Default for Args {
             samples: 500,
             seed: 0,
             slow_ms: 1_000,
+            request_timeout_ms: 30_000,
+            queue_age_ms: 10_000,
             model: None,
             save_model: None,
         }
@@ -129,6 +135,20 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
             }
             "--seed" => args.seed = value.parse().map_err(|_| bad("expected an integer"))?,
             "--slow-ms" => args.slow_ms = value.parse().map_err(|_| bad("expected an integer"))?,
+            "--request-timeout-ms" => {
+                args.request_timeout_ms = value
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| bad("expected a positive integer"))?
+            }
+            "--queue-age-ms" => {
+                args.queue_age_ms = value
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| bad("expected a positive integer"))?
+            }
             "--model" => args.model = Some(value.clone()),
             "--save-model" => args.save_model = Some(value.clone()),
             _ => return Err(format!("unknown flag {flag}")),
@@ -177,6 +197,8 @@ fn run(args: Args) -> Result<(), String> {
             ..Default::default()
         },
         slow_request_ms: (args.slow_ms > 0).then_some(args.slow_ms),
+        request_timeout: std::time::Duration::from_millis(args.request_timeout_ms),
+        max_queue_age: std::time::Duration::from_millis(args.queue_age_ms),
         ..Default::default()
     };
     let workers = config.parallelism.worker_count();

@@ -2,10 +2,18 @@
 //!
 //! Speaks exactly the dialect the server emits: one request per
 //! connection, `Connection: close`, body read to EOF and checked against
-//! `Content-Length`.
+//! `Content-Length`. Every exchange carries connect/read/write timeouts
+//! ([`DEFAULT_TIMEOUT`] unless overridden) so tests and benches fail
+//! fast against a wedged server instead of hanging forever.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Per-operation timeout applied by [`request`]: bounds the connect and
+/// each read/write syscall. Generous, because a cold `/explain` trains
+/// nothing but can still compute for seconds on a loaded CI box.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// A parsed response.
 #[derive(Debug, Clone)]
@@ -28,14 +36,35 @@ impl ClientResponse {
     }
 }
 
-/// Sends one request and reads the full response.
+/// Sends one request and reads the full response, under
+/// [`DEFAULT_TIMEOUT`].
 pub fn request(
     addr: SocketAddr,
     method: &str,
     path: &str,
     body: &str,
 ) -> std::io::Result<ClientResponse> {
-    let mut stream = TcpStream::connect(addr)?;
+    request_with_timeout(addr, method, path, body, DEFAULT_TIMEOUT)
+}
+
+/// Sends one request and reads the full response. `timeout` bounds the
+/// connect and each individual read/write syscall (not the exchange as a
+/// whole); a server that accepts but never answers fails the first read
+/// within one `timeout` instead of hanging forever. Sub-millisecond
+/// values are raised to 1 ms — a zero socket timeout means "block
+/// forever", the opposite of what a caller asking for a tiny timeout
+/// wants.
+pub fn request_with_timeout(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> std::io::Result<ClientResponse> {
+    let timeout = timeout.max(Duration::from_millis(1));
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
     let wire = format!(
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len(),
@@ -98,5 +127,29 @@ mod tests {
     fn rejects_truncated_bodies() {
         let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\n{}";
         assert!(parse_response(raw).is_err());
+    }
+
+    #[test]
+    fn times_out_fast_against_an_unresponsive_server() {
+        // Regression: the client used to connect with no timeouts at
+        // all, so a wedged server hung integration tests and benches
+        // forever. A listener that never answers (the kernel completes
+        // the handshake from the backlog either way) must fail the read
+        // within roughly one timeout, not block.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let started = std::time::Instant::now();
+        let err = request_with_timeout(addr, "GET", "/healthz", "", Duration::from_millis(200))
+            .expect_err("unresponsive server must time the client out");
+        assert!(
+            crate::deadline::is_timeout(&err),
+            "expected a timeout, got {err:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "client failed fast, not after {:?}",
+            started.elapsed()
+        );
+        drop(listener);
     }
 }

@@ -38,6 +38,28 @@ impl Request {
     }
 }
 
+/// Which part of the request was being read when a timeout fired. The
+/// server maps the phases to distinct reject causes so a header-dripping
+/// slowloris and a body-dripping client are distinguishable in
+/// `/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadPhase {
+    /// Request line or header section.
+    Header,
+    /// The `Content-Length`-declared body.
+    Body,
+}
+
+impl ReadPhase {
+    /// Human label, used in error messages.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReadPhase::Header => "header",
+            ReadPhase::Body => "body",
+        }
+    }
+}
+
 /// A framing/parse failure, mapped to a 4xx by the server.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HttpError {
@@ -49,6 +71,9 @@ pub enum HttpError {
     /// a plain port probe or health-checker connect. Not a protocol
     /// error: the server writes no response and bumps no error counter.
     Closed,
+    /// The connection deadline (or a socket timeout) expired while
+    /// reading the given phase (→ 408).
+    Timeout(ReadPhase),
     /// The socket failed or closed mid-request.
     Io(String),
 }
@@ -59,12 +84,26 @@ impl std::fmt::Display for HttpError {
             HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
             HttpError::BodyTooLarge => write!(f, "request body too large"),
             HttpError::Closed => write!(f, "connection closed before any request byte"),
+            HttpError::Timeout(phase) => {
+                write!(f, "request deadline exceeded reading the {}", phase.label())
+            }
             HttpError::Io(m) => write!(f, "i/o: {m}"),
         }
     }
 }
 
 impl std::error::Error for HttpError {}
+
+/// Maps a raw I/O failure to [`HttpError::Timeout`] when it is a timeout
+/// (either kind the platform uses for an expired socket timeout), and to
+/// [`HttpError::Io`] otherwise.
+fn classify_io(error: std::io::Error, phase: ReadPhase) -> HttpError {
+    if crate::deadline::is_timeout(&error) {
+        HttpError::Timeout(phase)
+    } else {
+        HttpError::Io(error.to_string())
+    }
+}
 
 /// Reads one `\n`-terminated line of at most `budget` bytes (terminator
 /// included), without buffering anything past the cap. Returns the empty
@@ -80,7 +119,7 @@ fn read_capped_line<R: BufRead>(
     let n = reader
         .take(budget as u64 + 1)
         .read_line(&mut line)
-        .map_err(|e| HttpError::Io(e.to_string()))?;
+        .map_err(|e| classify_io(e, ReadPhase::Header))?;
     if n > budget {
         return Err(HttpError::Malformed(format!(
             "{what} exceeds the {MAX_HEADER_BYTES}-byte header cap"
@@ -158,7 +197,7 @@ pub fn read_request<S: Read>(stream: S) -> Result<Request, HttpError> {
     let mut body = vec![0u8; content_length];
     reader
         .read_exact(&mut body)
-        .map_err(|e| HttpError::Io(e.to_string()))?;
+        .map_err(|e| classify_io(e, ReadPhase::Body))?;
     let body =
         String::from_utf8(body).map_err(|_| HttpError::Malformed("body is not utf-8".into()))?;
 
@@ -211,8 +250,10 @@ impl Response {
         self
     }
 
-    /// Serializes and writes the response (always `Connection: close`).
-    pub fn write_to<W: Write>(&self, mut stream: W) -> std::io::Result<()> {
+    /// Serializes the response to its wire bytes (always
+    /// `Connection: close`). Split from [`Response::write_to`] so the
+    /// accept loop can attempt a single non-blocking shed write.
+    pub fn to_wire(&self) -> String {
         let mut out = format!(
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
@@ -228,7 +269,12 @@ impl Response {
         }
         out.push_str("\r\n");
         out.push_str(&self.body);
-        stream.write_all(out.as_bytes())?;
+        out
+    }
+
+    /// Serializes and writes the response (always `Connection: close`).
+    pub fn write_to<W: Write>(&self, mut stream: W) -> std::io::Result<()> {
+        stream.write_all(self.to_wire().as_bytes())?;
         stream.flush()
     }
 }
@@ -240,6 +286,7 @@ fn status_reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         503 => "Service Unavailable",
         _ => "Internal Server Error",

@@ -22,6 +22,14 @@
 //! `em_par::scoped_workers`, sized by [`em_par::ParallelismConfig`]. The
 //! [`json`] module is a self-contained parser/writer, so the crate adds no
 //! dependencies beyond the workspace.
+//!
+//! The request lifecycle is hardened against misbehaving clients
+//! (DESIGN.md §14): each connection runs under a per-connection
+//! [`Deadline`] bounding total read + write time regardless of how the
+//! peer drips bytes, queued connections past an admission age bound are
+//! discarded, overload shedding never blocks the accept loop, and every
+//! rejection is attributed to a cause in
+//! `em_serve_rejects_total{cause=...}`.
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
@@ -30,6 +38,7 @@
 pub mod cache;
 pub mod client;
 pub mod codec;
+pub mod deadline;
 pub mod http;
 pub mod json;
 pub mod metrics;
@@ -38,6 +47,7 @@ pub mod server;
 
 pub use cache::{CacheStats, ShardedCache};
 pub use codec::{ExplainOptions, ExplainRequest, ExplainerKind};
+pub use deadline::{Deadline, DeadlineStream};
 pub use json::{JsonError, Value};
-pub use metrics::{Endpoint, Metrics};
+pub use metrics::{Endpoint, Metrics, RejectCause};
 pub use server::{Server, ServerConfig, ServerHandle};

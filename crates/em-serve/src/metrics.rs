@@ -69,6 +69,77 @@ impl Endpoint {
     }
 }
 
+/// Why a connection was rejected or abandoned instead of being served
+/// normally. Each cause is one `em_serve_rejects_total{cause=...}`
+/// counter, so an operator (or the chaos suite) can attribute every
+/// misbehaving-client pattern to its specific defence (DESIGN.md §14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectCause {
+    /// Queue full: 503 + `Retry-After` written from the accept thread.
+    Shed,
+    /// Queue full and the non-blocking 503 write did not complete; the
+    /// connection was dropped rather than blocking the accept loop.
+    ShedDrop,
+    /// Queued longer than the admission bound; discarded unanswered
+    /// because the client has almost certainly timed out.
+    StaleQueue,
+    /// Deadline expired before the client sent a single byte
+    /// (connect-and-hold).
+    Idle,
+    /// Deadline expired while reading the request line or headers
+    /// (slowloris header drip).
+    HeaderDeadline,
+    /// Deadline expired while reading the declared body (body drip).
+    BodyDeadline,
+    /// Deadline expired while writing the response (never-reading peer).
+    WriteDeadline,
+    /// The peer closed or reset the connection mid-request.
+    PeerAbort,
+}
+
+impl RejectCause {
+    /// All causes, in render order.
+    pub fn all() -> [RejectCause; 8] {
+        [
+            RejectCause::Shed,
+            RejectCause::ShedDrop,
+            RejectCause::StaleQueue,
+            RejectCause::Idle,
+            RejectCause::HeaderDeadline,
+            RejectCause::BodyDeadline,
+            RejectCause::WriteDeadline,
+            RejectCause::PeerAbort,
+        ]
+    }
+
+    /// The `cause` label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectCause::Shed => "shed",
+            RejectCause::ShedDrop => "shed_drop",
+            RejectCause::StaleQueue => "stale_queue",
+            RejectCause::Idle => "idle",
+            RejectCause::HeaderDeadline => "header_deadline",
+            RejectCause::BodyDeadline => "body_deadline",
+            RejectCause::WriteDeadline => "write_deadline",
+            RejectCause::PeerAbort => "peer_abort",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            RejectCause::Shed => 0,
+            RejectCause::ShedDrop => 1,
+            RejectCause::StaleQueue => 2,
+            RejectCause::Idle => 3,
+            RejectCause::HeaderDeadline => 4,
+            RejectCause::BodyDeadline => 5,
+            RejectCause::WriteDeadline => 6,
+            RejectCause::PeerAbort => 7,
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct EndpointSeries {
     requests: AtomicU64,
@@ -93,6 +164,7 @@ pub struct Metrics {
     series: [EndpointSeries; 6],
     stages: [StageSeries; em_obs::N_STAGES],
     slow_requests: AtomicU64,
+    rejects: [AtomicU64; 8],
 }
 
 impl Metrics {
@@ -155,6 +227,22 @@ impl Metrics {
     /// Requests counted by [`Metrics::record_slow`].
     pub fn slow_requests(&self) -> u64 {
         self.slow_requests.load(Ordering::Relaxed)
+    }
+
+    /// Counts one rejected/abandoned connection under its cause. Rejects
+    /// are deliberately **not** latency observations: a shed or reaped
+    /// connection has no meaningful service latency, and recording a
+    /// fabricated one (the old `0 µs` shed sample) drags the latency
+    /// percentiles toward zero exactly when the server is overloaded.
+    pub fn record_reject(&self, cause: RejectCause) {
+        // em-lint: allow(panic-in-request-path) -- RejectCause::index() < 8 by construction, the array is 8 long
+        self.rejects[cause.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections counted by [`Metrics::record_reject`] for a cause.
+    pub fn rejects(&self, cause: RejectCause) -> u64 {
+        // em-lint: allow(panic-in-request-path) -- RejectCause::index() < 8 by construction, the array is 8 long
+        self.rejects[cause.index()].load(Ordering::Relaxed)
     }
 
     /// Renders the Prometheus text exposition, including the cache
@@ -238,6 +326,14 @@ impl Metrics {
                 "em_serve_stage_latency_us_count{{stage=\"{}\"}} {}\n",
                 stage.label(),
                 s.count.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# TYPE em_serve_rejects_total counter\n");
+        for cause in RejectCause::all() {
+            out.push_str(&format!(
+                "em_serve_rejects_total{{cause=\"{}\"}} {}\n",
+                cause.label(),
+                self.rejects[cause.index()].load(Ordering::Relaxed)
             ));
         }
         out.push_str("# TYPE em_serve_slow_requests_total counter\n");
@@ -343,6 +439,34 @@ mod tests {
         assert!(text.contains("em_serve_cache_hits_total 7"));
         assert!(text.contains("em_serve_cache_misses_total 3"));
         assert!(text.contains("em_serve_cache_entries 5"));
+    }
+
+    #[test]
+    fn rejects_render_per_cause_without_latency_samples() {
+        let m = Metrics::new();
+        m.record_reject(RejectCause::Shed);
+        m.record_reject(RejectCause::Shed);
+        m.record_reject(RejectCause::HeaderDeadline);
+        assert_eq!(m.rejects(RejectCause::Shed), 2);
+        assert_eq!(m.rejects(RejectCause::HeaderDeadline), 1);
+        let text = m.render(&CacheStats::default(), 0);
+        assert!(text.contains("# TYPE em_serve_rejects_total counter"));
+        assert!(text.contains("em_serve_rejects_total{cause=\"shed\"} 2"));
+        assert!(text.contains("em_serve_rejects_total{cause=\"header_deadline\"} 1"));
+        // Every cause renders a series even at zero, so scrapers see the
+        // full taxonomy from the first scrape.
+        for cause in RejectCause::all() {
+            assert!(text.contains(&format!(
+                "em_serve_rejects_total{{cause=\"{}\"}}",
+                cause.label()
+            )));
+        }
+        // Regression (shed-path metrics pollution): a reject is not a
+        // latency observation — no endpoint series moved.
+        for ep in Endpoint::all() {
+            assert_eq!(m.requests(ep), 0);
+        }
+        assert!(text.contains("em_serve_request_latency_us_count{endpoint=\"other\"} 0"));
     }
 
     #[test]

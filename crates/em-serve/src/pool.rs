@@ -6,12 +6,60 @@
 //! module provides the channel in the middle: a mutex/condvar MPMC queue
 //! with a hard capacity. When the queue is full the accept loop sheds load
 //! immediately (503) instead of letting connections pile up unbounded.
+//! Every entry is stamped with its enqueue instant ([`Enqueued`]) so
+//! workers can discard connections that waited past the admission bound
+//! (DESIGN.md §14).
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A queued item stamped with its enqueue instant. Workers use the age
+/// for admission control: an entry that sat in the queue longer than the
+/// configured bound belongs to a client that has almost certainly timed
+/// out, and serving it would waste compute on an answer nobody reads.
+#[derive(Debug)]
+pub struct Enqueued<T> {
+    /// The queued item.
+    pub item: T,
+    enqueued_at: Instant,
+}
+
+impl<T> Enqueued<T> {
+    /// Stamps `item` with the current instant.
+    // em-lint: sanitize(nondet-taint) -- admission-control clock: the enqueue stamp only decides whether a stale connection is discarded; it never feeds seeds, orderings, or response bytes (DESIGN.md §14)
+    pub fn stamped_now(item: T) -> Enqueued<T> {
+        Enqueued {
+            item,
+            enqueued_at: Instant::now(),
+        }
+    }
+
+    /// Stamps `item` with an explicit instant (tests fabricate old
+    /// entries with this).
+    pub fn stamped_at(item: T, enqueued_at: Instant) -> Enqueued<T> {
+        Enqueued { item, enqueued_at }
+    }
+
+    /// When the item entered the queue.
+    pub fn enqueued_at(&self) -> Instant {
+        self.enqueued_at
+    }
+
+    /// How long the item has been waiting, as of `now`.
+    pub fn age_at(&self, now: Instant) -> Duration {
+        now.saturating_duration_since(self.enqueued_at)
+    }
+
+    /// How long the item has been waiting.
+    // em-lint: sanitize(nondet-taint) -- admission-control clock: queue age only decides whether a stale connection is discarded, never what is computed for it (DESIGN.md §14)
+    pub fn age(&self) -> Duration {
+        self.age_at(Instant::now())
+    }
+}
 
 struct QueueState<T> {
-    items: VecDeque<T>,
+    items: VecDeque<Enqueued<T>>,
     closed: bool,
 }
 
@@ -54,25 +102,33 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    /// Enqueues an item, or returns it if the queue is full/closed.
+    /// Enqueues an item stamped with the current instant, or returns it
+    /// if the queue is full/closed.
     pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        self.push_stamped(Enqueued::stamped_now(item))
+    }
+
+    /// Enqueues a pre-stamped item (tests fabricate old entries this
+    /// way), or returns the inner item if the queue is full/closed.
+    pub fn push_stamped(&self, entry: Enqueued<T>) -> Result<(), PushError<T>> {
         let mut state = self.state.lock().expect("queue poisoned"); // em-lint: allow(panic-in-request-path) -- poisoning means a worker already panicked; propagating is the correct failure mode
         if state.closed {
-            return Err(PushError::Closed(item));
+            return Err(PushError::Closed(entry.item));
         }
         if state.items.len() >= self.capacity {
-            return Err(PushError::Full(item));
+            return Err(PushError::Full(entry.item));
         }
-        state.items.push_back(item);
+        state.items.push_back(entry);
         drop(state);
         self.not_empty.notify_one();
         Ok(())
     }
 
-    /// Dequeues the next item, blocking while the queue is open and empty.
-    /// Returns `None` only when the queue is closed **and** drained — so
-    /// closing lets in-flight work finish (graceful shutdown).
-    pub fn pop(&self) -> Option<T> {
+    /// Dequeues the next item (with its enqueue stamp), blocking while
+    /// the queue is open and empty. Returns `None` only when the queue is
+    /// closed **and** drained — so closing lets in-flight work finish
+    /// (graceful shutdown).
+    pub fn pop(&self) -> Option<Enqueued<T>> {
         let mut state = self.state.lock().expect("queue poisoned");
         loop {
             if let Some(item) = state.items.pop_front() {
@@ -113,8 +169,26 @@ mod tests {
         q.push(1).unwrap();
         q.push(2).unwrap();
         assert_eq!(q.len(), 2);
-        assert_eq!(q.pop(), Some(1));
-        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop().map(|e| e.item), Some(1));
+        assert_eq!(q.pop().map(|e| e.item), Some(2));
+    }
+
+    #[test]
+    fn entries_carry_their_enqueue_stamp() {
+        let q = BoundedQueue::new(4);
+        let before = Instant::now();
+        q.push(7).unwrap();
+        let entry = q.pop().expect("one entry");
+        assert_eq!(entry.item, 7);
+        assert!(entry.enqueued_at() >= before);
+        // Age is measured from the stamp: a fabricated old entry reports
+        // its true wait, the boundary case (now == stamp) reports zero.
+        let old = Enqueued::stamped_at(8, before - Duration::from_secs(60));
+        assert!(old.age() >= Duration::from_secs(60));
+        assert_eq!(old.age_at(before - Duration::from_secs(60)), Duration::ZERO);
+        // A stamp in the future saturates to zero age, never panics.
+        let future = Enqueued::stamped_at(9, before + Duration::from_secs(60));
+        assert_eq!(future.age_at(before), Duration::ZERO);
     }
 
     #[test]
@@ -130,8 +204,8 @@ mod tests {
         q.push(1).unwrap();
         q.close();
         assert_eq!(q.push(2), Err(PushError::Closed(2)));
-        assert_eq!(q.pop(), Some(1)); // drains existing work
-        assert_eq!(q.pop(), None); // then reports closed
+        assert_eq!(q.pop().map(|e| e.item), Some(1)); // drains existing work
+        assert!(q.pop().is_none()); // then reports closed
     }
 
     #[test]

@@ -2,13 +2,20 @@
 //!
 //! One listener thread accepts connections and pushes them onto a
 //! [`BoundedQueue`]; `em_par::scoped_workers` runs the worker pool that
-//! drains it. When the queue is full the accept thread answers 503
-//! directly instead of queueing unbounded. `POST /shutdown` flips an
-//! atomic flag and pokes the listener with a loopback connection so
-//! `accept` wakes up; closing the queue then lets every in-flight request
-//! finish before `run` returns.
+//! drains it. When the queue is full the accept thread sheds with a
+//! non-blocking 503 + `Retry-After` instead of queueing unbounded —
+//! never waiting on a client socket, because every other user's `accept`
+//! is behind it. Each picked-up connection runs under one [`Deadline`]
+//! covering request read, compute, and response write; queued
+//! connections older than the admission bound are discarded unanswered.
+//! Every rejection is attributed to a cause in
+//! `em_serve_rejects_total{cause=...}` (DESIGN.md §14). `POST /shutdown`
+//! flips an atomic flag and pokes the listener with a loopback
+//! connection so `accept` wakes up; closing the queue then lets every
+//! in-flight request finish before `run` returns.
 
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io::Write;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
@@ -18,13 +25,21 @@ use em_par::ParallelismConfig;
 
 use crate::cache::ShardedCache;
 use crate::codec::{self, ExplainOptions};
-use crate::http::{read_request, HttpError, Request, Response};
+use crate::deadline::{is_timeout, Deadline, DeadlineStream};
+use crate::http::{read_request, HttpError, ReadPhase, Request, Response};
 use crate::json::Value;
-use crate::metrics::{Endpoint, Metrics};
+use crate::metrics::{Endpoint, Metrics, RejectCause};
 use crate::pool::{BoundedQueue, PushError};
 
-/// How long a worker waits for a slow client before giving up on it.
-const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
+/// Budget for writing a 408 after the connection deadline has already
+/// expired. The deadline is spent, but the client may still be reading;
+/// a short fixed grace keeps the courtesy answer from re-wedging the
+/// worker the deadline just freed.
+const REJECT_WRITE_GRACE: Duration = Duration::from_secs(1);
+
+/// Bound on the shutdown self-wake connect, so `run` can never wedge
+/// behind its own wake-up.
+const WAKE_CONNECT_TIMEOUT: Duration = Duration::from_secs(1);
 
 /// Server tunables.
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +62,14 @@ pub struct ServerConfig {
     /// `em_serve_slow_requests_total`. `None` disables slow-request
     /// logging entirely.
     pub slow_request_ms: Option<u64>,
+    /// Total wall-clock budget for one connection once a worker picks it
+    /// up: reading the request (however slowly the client drips it),
+    /// computing, and writing the response all share this one deadline.
+    pub request_timeout: Duration,
+    /// Admission bound: a connection that waited in the queue longer
+    /// than this is discarded unanswered — its client has almost
+    /// certainly timed out, and serving it would waste compute.
+    pub max_queue_age: Duration,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +82,8 @@ impl Default for ServerConfig {
             defaults: ExplainOptions::default(),
             predict_threshold: 0.5,
             slow_request_ms: Some(1_000),
+            request_timeout: Duration::from_secs(30),
+            max_queue_age: Duration::from_secs(10),
         }
     }
 }
@@ -72,6 +97,8 @@ struct AppState {
     defaults: ExplainOptions,
     predict_threshold: f64,
     slow_request_ms: Option<u64>,
+    request_timeout: Duration,
+    max_queue_age: Duration,
     shutdown: AtomicBool,
     addr: SocketAddr,
 }
@@ -120,6 +147,8 @@ impl Server {
                 defaults: config.defaults,
                 predict_threshold: config.predict_threshold,
                 slow_request_ms: config.slow_request_ms,
+                request_timeout: config.request_timeout,
+                max_queue_age: config.max_queue_age,
                 shutdown: AtomicBool::new(false),
                 addr,
             },
@@ -140,8 +169,16 @@ impl Server {
         em_par::scoped_workers(
             self.workers,
             |_worker| {
-                while let Some(stream) = queue.pop() {
-                    handle_connection(state, stream);
+                while let Some(conn) = queue.pop() {
+                    // Admission control: a connection that outwaited the
+                    // queue-age bound belongs to a client that has almost
+                    // certainly timed out; dropping the stream closes it
+                    // without spending any compute.
+                    if conn.age() > state.max_queue_age {
+                        state.metrics.record_reject(RejectCause::StaleQueue);
+                        continue;
+                    }
+                    handle_connection(state, conn.item);
                 }
             },
             || {
@@ -156,11 +193,7 @@ impl Server {
                     if let Err(PushError::Full(stream) | PushError::Closed(stream)) =
                         queue.push(stream)
                     {
-                        // Shed load in the accept thread; never block on a
-                        // full pool.
-                        let resp = Response::json(503, error_body("server overloaded"));
-                        let _ = resp.write_to(&stream);
-                        state.metrics.record(Endpoint::Other, 0, true);
+                        shed_without_blocking(state, &stream);
                     }
                 }
                 queue.close();
@@ -201,40 +234,124 @@ fn error_body(message: &str) -> String {
     Value::object(vec![("error", Value::string(message))]).to_json()
 }
 
-/// Reads, routes, answers, and records one connection.
+/// Sheds a connection from the accept thread without ever blocking it:
+/// the socket is flipped to non-blocking, already-arrived request bytes
+/// are drained (bounded, never waiting — closing with unread received
+/// data makes the kernel send RST instead of FIN, and the RST destroys
+/// the 503 sitting unread in the client's buffers), and the 503 (with
+/// `Retry-After`) is attempted as a *single* write. A fresh connection's
+/// send buffer is empty, so the ~100-byte response virtually always
+/// fits; a peer whose buffer somehow cannot take it (never-reading
+/// client) just loses the connection — the one thing the accept loop
+/// must never do is wait on a client socket, because every other user's
+/// `accept` is behind it.
+fn shed_without_blocking(state: &AppState, stream: &TcpStream) {
+    let response =
+        Response::json(503, error_body("server overloaded")).with_header("Retry-After", "1");
+    let wire = response.to_wire();
+    let nonblocking = stream.set_nonblocking(true).is_ok();
+    if nonblocking {
+        let mut sink = [0u8; 4096];
+        for _ in 0..32 {
+            if !matches!(std::io::Read::read(&mut &*stream, &mut sink), Ok(n) if n > 0) {
+                break;
+            }
+        }
+    }
+    let written =
+        nonblocking && matches!((&mut &*stream).write(wire.as_bytes()), Ok(n) if n == wire.len());
+    // A reject is counted, never a latency sample: a shed connection has
+    // no service latency, and a fabricated 0 µs observation would drag
+    // the `Other` percentiles toward zero exactly under overload.
+    state.metrics.record_reject(if written {
+        RejectCause::Shed
+    } else {
+        RejectCause::ShedDrop
+    });
+}
+
+/// Reads, routes, answers, and records one connection, all under one
+/// [`Deadline`]: every socket read and write is charged against the same
+/// `request_timeout` budget, so no pacing a client chooses can hold the
+/// worker past it (DESIGN.md §14).
 fn handle_connection(state: &AppState, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let deadline = Deadline::starting_now(state.request_timeout);
     let start = Instant::now();
-    let (endpoint, response, is_shutdown) = match read_request(&stream) {
+    let mut reader = DeadlineStream::new(&stream, deadline);
+    let (endpoint, response, is_shutdown) = match read_request(&mut reader) {
         Ok(request) => route(state, &request),
         // The peer connected and closed without sending a byte (port
         // probe, health checker). Nothing was asked, so nothing is
         // answered and no counter is bumped.
         Err(HttpError::Closed) => return,
+        Err(HttpError::Timeout(phase)) => {
+            // The deadline expired mid-request. Attribute the cause —
+            // connect-and-hold (not one byte), header drip, or body
+            // drip — then answer 408 under a short grace budget (the
+            // client may well still be reading) and reap the connection.
+            let cause = match phase {
+                ReadPhase::Header if reader.bytes_read() == 0 => RejectCause::Idle,
+                ReadPhase::Header => RejectCause::HeaderDeadline,
+                ReadPhase::Body => RejectCause::BodyDeadline,
+            };
+            state.metrics.record_reject(cause);
+            let grace = Deadline::starting_now(REJECT_WRITE_GRACE);
+            let _ = Response::json(408, error_body("request deadline exceeded"))
+                .write_to(&mut DeadlineStream::new(&stream, grace));
+            return;
+        }
         Err(HttpError::BodyTooLarge) => (
             Endpoint::Other,
             Response::json(413, error_body("request body too large")),
             false,
         ),
-        Err(err) => (
-            Endpoint::Other,
-            Response::json(400, error_body(&err.to_string())),
-            false,
-        ),
+        Err(err) => {
+            if matches!(err, HttpError::Io(_)) {
+                // The peer closed or reset mid-request; the 400 below is
+                // written into the void on a full close, but half-closed
+                // peers (`shutdown(Write)`) still read it.
+                state.metrics.record_reject(RejectCause::PeerAbort);
+            }
+            (
+                Endpoint::Other,
+                Response::json(400, error_body(&err.to_string())),
+                false,
+            )
+        }
     };
     let latency_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
     state
         .metrics
         .record(endpoint, latency_us, response.status >= 400);
-    let _ = response.write_to(&stream);
+    // The response write shares the connection's deadline: a peer that
+    // accepts bytes too slowly (or never reads) is cut off when the
+    // budget runs out — silently, since no response can follow a partial
+    // response.
+    if let Err(err) = response.write_to(&mut DeadlineStream::new(&stream, deadline)) {
+        if is_timeout(&err) {
+            state.metrics.record_reject(RejectCause::WriteDeadline);
+        }
+    }
     drop(stream);
     if is_shutdown {
         state.shutdown.store(true, Ordering::SeqCst);
-        // Wake the accept loop so it observes the flag; the dummy
-        // connection is dropped unanswered.
-        let _ = TcpStream::connect(state.addr);
+        wake_accept_loop(state.addr);
     }
+}
+
+/// Pokes the accept loop with a loopback connection so it observes the
+/// shutdown flag. The *bound* address is not used directly: a wildcard
+/// bind (`0.0.0.0` / `[::]`) is not a connectable destination on every
+/// platform, so the wake aims at the loopback of the same family on the
+/// bound port, with a connect timeout so shutdown can never wedge behind
+/// its own wake-up. The dummy connection is dropped unanswered.
+fn wake_accept_loop(addr: SocketAddr) {
+    let ip = match addr.ip() {
+        IpAddr::V4(v4) if v4.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+        IpAddr::V6(v6) if v6.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        ip => ip,
+    };
+    let _ = TcpStream::connect_timeout(&SocketAddr::new(ip, addr.port()), WAKE_CONNECT_TIMEOUT);
 }
 
 /// Maps a request to (endpoint, response, initiate-shutdown).

@@ -6,49 +6,11 @@
 //! integrity check for a pipeline that owns its own files, chosen because
 //! it is fully specified in a dozen lines and needs no dependency. Hashes
 //! render as `fnv1a64:<16 hex digits>` so a future algorithm change is
-//! self-describing.
+//! self-describing. The hasher itself lives in `em-codec` (shared with
+//! the serving cache's shard pick and `em-route`'s ring placement); this
+//! module re-exports it and adds the manifest text form.
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// Incremental FNV-1a 64-bit hasher for streaming file reads.
-#[derive(Debug, Clone)]
-pub struct Fnv1a64 {
-    state: u64,
-}
-
-impl Default for Fnv1a64 {
-    fn default() -> Self {
-        Fnv1a64::new()
-    }
-}
-
-impl Fnv1a64 {
-    /// Starts a hash at the FNV offset basis.
-    pub fn new() -> Self {
-        Fnv1a64 { state: FNV_OFFSET }
-    }
-
-    /// Folds `bytes` into the running hash.
-    pub fn update(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.state ^= u64::from(b);
-            self.state = self.state.wrapping_mul(FNV_PRIME);
-        }
-    }
-
-    /// The hash of everything folded in so far.
-    pub fn finish(&self) -> u64 {
-        self.state
-    }
-}
-
-/// One-shot hash of a byte slice.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = Fnv1a64::new();
-    h.update(bytes);
-    h.finish()
-}
+pub use em_codec::hash::{fnv1a64, Fnv1a64};
 
 /// Renders a hash in the manifest's self-describing text form.
 pub fn format_hash(hash: u64) -> String {

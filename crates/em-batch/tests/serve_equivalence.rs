@@ -94,8 +94,7 @@ fn assert_batch_replays_byte_identically(name: &str, base_seed: u64, n_records: 
     // Server side: the *same* persisted model the batch run used.
     let dataset = plan::read_input(&input).expect("read input");
     let schema = dataset.schema().clone();
-    let model =
-        load_logistic_file(&run_dir.join(plan::MODEL_FILE), &schema).expect("load model");
+    let model = load_logistic_file(&run_dir.join(plan::MODEL_FILE), &schema).expect("load model");
     let matcher = LogisticMatcher::from_parts(FeatureExtractor::fit(&dataset), model);
     let server = Server::bind(
         "127.0.0.1:0",

@@ -14,7 +14,10 @@
 //!   here; `em-serve` re-exports it unchanged);
 //! * [`explain`] — typed decode of explain requests, the canonical cache
 //!   key, and the walk from `PairExplanation` / `DualExplanation` into a
-//!   deterministic [`Value`] tree (originally `em-serve::codec`).
+//!   deterministic [`Value`] tree (originally `em-serve::codec`);
+//! * [`hash`] — the FNV-1a 64-bit hash applied to the canonical key, so
+//!   the serving cache's shard pick and the routing tier's ring placement
+//!   (`em-route`) agree byte-for-byte on where a key lives.
 //!
 //! The crate stays dependency-free beyond the workspace: the build
 //! environment is offline (no `serde`).
@@ -23,7 +26,9 @@
 #![deny(missing_debug_implementations)]
 
 pub mod explain;
+pub mod hash;
 pub mod json;
 
 pub use explain::{ExplainOptions, ExplainRequest, ExplainerKind};
+pub use hash::{fnv1a64, Fnv1a64};
 pub use json::{JsonError, Value};

@@ -74,10 +74,7 @@ impl Report {
 /// per file, graph rules across all of them. This is the engine's unit
 /// of work and what both [`lint_workspace`] and the golden tests drive.
 pub fn lint_files(files: &[(String, String)], deps: Option<&DepMap>) -> Report {
-    let ctxs: Vec<FileContext> = files
-        .iter()
-        .map(|(p, s)| FileContext::new(p, s))
-        .collect();
+    let ctxs: Vec<FileContext> = files.iter().map(|(p, s)| FileContext::new(p, s)).collect();
     let items: Vec<FileItems> = ctxs.iter().map(parser::parse).collect();
     let graph = Graph::build(&ctxs, &items, deps);
 
@@ -214,10 +211,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
 /// (the `graph` subcommand).
 pub fn graph_stats(root: &Path) -> std::io::Result<GraphStats> {
     let files = read_workspace_sources(root)?;
-    let ctxs: Vec<FileContext> = files
-        .iter()
-        .map(|(p, s)| FileContext::new(p, s))
-        .collect();
+    let ctxs: Vec<FileContext> = files.iter().map(|(p, s)| FileContext::new(p, s)).collect();
     let items: Vec<FileItems> = ctxs.iter().map(parser::parse).collect();
     let deps = parse_dep_map(root);
     Ok(Graph::build(&ctxs, &items, Some(&deps)).stats())
@@ -386,7 +380,10 @@ mod tests {
             fn clock() { let _ = Instant::now(); }\n";
         let (violations, _) = lint_source("crates/em-serve/src/server.rs", src);
         let rules: Vec<&str> = violations.iter().map(|v| v.rule.as_str()).collect();
-        assert!(rules.contains(&"suppression-missing-reason"), "{violations:?}");
+        assert!(
+            rules.contains(&"suppression-missing-reason"),
+            "{violations:?}"
+        );
         assert!(rules.contains(&"nondet-taint"), "{violations:?}");
     }
 

@@ -193,7 +193,9 @@ impl Graph {
         let uses = &items[node.file].uses;
         let mut out: BTreeSet<usize> = BTreeSet::new();
         for k in self.own_tokens(f) {
-            let Some(name) = toks[k].ident() else { continue };
+            let Some(name) = toks[k].ident() else {
+                continue;
+            };
             // A call site is `name(` — possibly with a `::<T>` turbofish.
             let mut after = k + 1;
             if toks.get(after).is_some_and(|t| t.is_punct(':'))
@@ -247,7 +249,9 @@ impl Graph {
         self.named(name)
             .iter()
             .copied()
-            .filter(|&c| self.fns[c].owner.is_some() && self.in_closure(&caller.krate, &self.fns[c].krate))
+            .filter(|&c| {
+                self.fns[c].owner.is_some() && self.in_closure(&caller.krate, &self.fns[c].krate)
+            })
             .collect()
     }
 
@@ -438,7 +442,10 @@ fn normalize(name: &str) -> String {
 
 /// Expands direct dependencies to their transitive closure (self
 /// included), restricted to crates actually present in the workspace.
-fn transitive_closure(deps: &DepMap, crates: &BTreeSet<String>) -> BTreeMap<String, BTreeSet<String>> {
+fn transitive_closure(
+    deps: &DepMap,
+    crates: &BTreeSet<String>,
+) -> BTreeMap<String, BTreeSet<String>> {
     let mut out = BTreeMap::new();
     for krate in crates {
         let mut seen: BTreeSet<String> = BTreeSet::new();
@@ -467,8 +474,7 @@ mod tests {
     use crate::parser;
 
     fn build(files: &[(&str, &str)], deps: Option<&DepMap>) -> Graph {
-        let ctxs: Vec<FileContext> =
-            files.iter().map(|(p, s)| FileContext::new(p, s)).collect();
+        let ctxs: Vec<FileContext> = files.iter().map(|(p, s)| FileContext::new(p, s)).collect();
         let items: Vec<parser::FileItems> = ctxs.iter().map(parser::parse).collect();
         Graph::build(&ctxs, &items, deps)
     }
@@ -494,7 +500,12 @@ mod tests {
             None,
         );
         let t = idx(&g, "top");
-        assert_eq!(g.edges[t].len(), 1, "same-file helper wins: {:?}", g.edges[t]);
+        assert_eq!(
+            g.edges[t].len(),
+            1,
+            "same-file helper wins: {:?}",
+            g.edges[t]
+        );
         assert_eq!(g.fns[g.edges[t][0]].krate, "em-a");
     }
 
@@ -514,14 +525,23 @@ mod tests {
         );
         assert!(calls(&g, "by_crate", "helper"));
         assert!(calls(&g, "by_module", "helper"));
-        assert!(g.edges[idx(&g, "no_match")].is_empty(), "unmatched qualifier → no edge");
+        assert!(
+            g.edges[idx(&g, "no_match")].is_empty(),
+            "unmatched qualifier → no edge"
+        );
     }
 
     #[test]
     fn dependency_closure_restricts_cross_crate_edges() {
         let files = [
-            ("crates/em-a/src/lib.rs", "pub struct S;\nimpl S { pub fn helper(&self) {} }\n"),
-            ("crates/em-b/src/lib.rs", "pub fn top(s: &em_a::S) { s.helper(); }\n"),
+            (
+                "crates/em-a/src/lib.rs",
+                "pub struct S;\nimpl S { pub fn helper(&self) {} }\n",
+            ),
+            (
+                "crates/em-b/src/lib.rs",
+                "pub fn top(s: &em_a::S) { s.helper(); }\n",
+            ),
         ];
         let mut deps: DepMap = DepMap::new();
         deps.insert("em-b".into(), BTreeSet::from(["em-a".to_string()]));
@@ -530,7 +550,10 @@ mod tests {
 
         let empty: DepMap = DepMap::new();
         let g2 = build(&files, Some(&empty));
-        assert!(g2.edges[idx(&g2, "top")].is_empty(), "undeclared dep → no edge");
+        assert!(
+            g2.edges[idx(&g2, "top")].is_empty(),
+            "undeclared dep → no edge"
+        );
     }
 
     #[test]
@@ -593,14 +616,18 @@ mod tests {
             None,
         );
         let root = idx(&g, "root");
-        let preds = g.reachable(
-            &[root],
-            None,
-            &|i| g.fns[i].sanitizes.iter().any(|r| r == "nondet-taint"),
-        );
+        let preds = g.reachable(&[root], None, &|i| {
+            g.fns[i].sanitizes.iter().any(|r| r == "nondet-taint")
+        });
         assert!(preds.contains_key(&idx(&g, "deep")));
-        assert!(!preds.contains_key(&idx(&g, "blessed")), "sanitizer blocks traversal");
-        assert!(!preds.contains_key(&idx(&g, "hidden")), "nothing past a sanitizer");
+        assert!(
+            !preds.contains_key(&idx(&g, "blessed")),
+            "sanitizer blocks traversal"
+        );
+        assert!(
+            !preds.contains_key(&idx(&g, "hidden")),
+            "nothing past a sanitizer"
+        );
         assert!(!preds.contains_key(&idx(&g, "t")));
         assert_eq!(g.chain(&preds, idx(&g, "deep")), "root → mid → deep");
     }
@@ -622,7 +649,10 @@ mod tests {
     fn stats_count_fns_and_edges_per_crate() {
         let g = build(
             &[
-                ("crates/em-a/src/lib.rs", "pub fn a() { b(); }\npub fn b() {}\n"),
+                (
+                    "crates/em-a/src/lib.rs",
+                    "pub fn a() { b(); }\npub fn b() {}\n",
+                ),
                 ("crates/em-b/src/lib.rs", "pub fn c() {}\n"),
             ],
             None,

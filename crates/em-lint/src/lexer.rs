@@ -596,7 +596,10 @@ real_ident();
         for (src, expect) in cases {
             let ids = idents(src);
             for e in *expect {
-                assert!(ids.contains(&e.to_string()), "{src}: missing {e}, got {ids:?}");
+                assert!(
+                    ids.contains(&e.to_string()),
+                    "{src}: missing {e}, got {ids:?}"
+                );
             }
             assert!(
                 !ids.iter().any(|i| i == "b" || i == "body" || i == "line2"),
@@ -637,7 +640,8 @@ real_ident();
                 "{src:?}: expected exactly one live1, got {ids:?}"
             );
             assert!(
-                !ids.iter().any(|i| i == "a" || i == "inner" || i == "nested"),
+                !ids.iter()
+                    .any(|i| i == "a" || i == "inner" || i == "nested"),
                 "{src:?}: comment body leaked: {ids:?}"
             );
         }
@@ -646,7 +650,10 @@ real_ident();
     #[test]
     fn unterminated_nested_comment_consumes_to_eof_without_panic() {
         let ids = idents("/* open /* deeper */ never closed\nghost();");
-        assert!(ids.is_empty(), "tokens fabricated from an open comment: {ids:?}");
+        assert!(
+            ids.is_empty(),
+            "tokens fabricated from an open comment: {ids:?}"
+        );
     }
 
     #[test]

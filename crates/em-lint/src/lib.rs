@@ -53,4 +53,6 @@ pub mod report;
 pub mod rules;
 pub mod taint;
 
-pub use engine::{find_workspace_root, graph_stats, lint_source, lint_workspace, Report, Violation};
+pub use engine::{
+    find_workspace_root, graph_stats, lint_source, lint_workspace, Report, Violation,
+};

@@ -58,10 +58,7 @@ fn run(args: &[String]) -> Result<bool, String> {
                     .ok_or_else(|| format!("--format needs a value\n{USAGE}"))?
                     .clone();
                 if !formats.contains(&format.as_str()) {
-                    return Err(format!(
-                        "unknown format `{format}` ({})",
-                        formats.join("|")
-                    ));
+                    return Err(format!("unknown format `{format}` ({})", formats.join("|")));
                 }
             }
             "--root" => {
@@ -82,8 +79,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         }
     };
     if command == "graph" {
-        let stats =
-            graph_stats(&root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+        let stats = graph_stats(&root).map_err(|e| format!("walking {}: {e}", root.display()))?;
         let rendered = match format.as_str() {
             "json" => {
                 let mut s = report::render_graph_json(&stats);

@@ -256,7 +256,7 @@ fn parse_use_group(
                 if let Some(name) = alias.take().or_else(|| entry.last().cloned()) {
                     if !entry.is_empty() {
                         let mut full = prefix.to_vec();
-                        full.extend(entry.drain(..));
+                        full.append(&mut entry);
                         out.insert(name, full);
                     }
                 }
@@ -421,10 +421,16 @@ fn f() {}
 ";
         let it = items_of(src);
         let seg = |n: &str| it.uses.get(n).cloned().unwrap_or_default();
-        assert_eq!(seg("run_explain"), vec!["em_codec", "explain", "run_explain"]);
+        assert_eq!(
+            seg("run_explain"),
+            vec!["em_codec", "explain", "run_explain"]
+        );
         assert_eq!(seg("pmap"), vec!["em_par", "par_map"]);
         assert_eq!(seg("manifest"), vec!["crate", "manifest"]);
-        assert_eq!(seg("ManifestEntry"), vec!["crate", "manifest", "ManifestEntry"]);
+        assert_eq!(
+            seg("ManifestEntry"),
+            vec!["crate", "manifest", "ManifestEntry"]
+        );
         assert_eq!(seg("Span"), vec!["em_obs", "Span"]);
         assert_eq!(seg("T"), vec!["em_obs", "Tracer"]);
     }

@@ -109,7 +109,9 @@ pub fn fsync_protocol_order(ctxs: &[FileContext], graph: &Graph) -> Vec<(usize, 
             if node.is_test
                 || node.krate != spec.krate
                 || !spec.files.contains(&node.stem.as_str())
-                || spec.fns.is_some_and(|fns| !fns.contains(&node.name.as_str()))
+                || spec
+                    .fns
+                    .is_some_and(|fns| !fns.contains(&node.name.as_str()))
             {
                 continue;
             }
@@ -142,7 +144,10 @@ fn check_fn(
             events.push((p, toks[k].line));
         }
     }
-    if !events.iter().any(|(e, _)| spec.steps.iter().any(|s| s.event == *e)) {
+    if !events
+        .iter()
+        .any(|(e, _)| spec.steps.iter().any(|s| s.event == *e))
+    {
         return; // no step events — fn is outside this protocol
     }
 
@@ -271,7 +276,11 @@ mod tests {
         );
         assert_eq!(found.len(), 1, "{found:?}");
         assert_eq!(found[0].line, 3);
-        assert!(found[0].message.contains("expected `write_sync`"), "{}", found[0].message);
+        assert!(
+            found[0].message.contains("expected `write_sync`"),
+            "{}",
+            found[0].message
+        );
         assert!(found[0].message.contains("found `rename_durable`"));
     }
 
@@ -287,7 +296,11 @@ mod tests {
         );
         assert_eq!(found.len(), 1, "{found:?}");
         assert_eq!(found[0].line, 4);
-        assert!(found[0].message.contains("without `append`"), "{}", found[0].message);
+        assert!(
+            found[0].message.contains("without `append`"),
+            "{}",
+            found[0].message
+        );
     }
 
     #[test]

@@ -84,9 +84,7 @@ pub fn render_sarif(report: &Report) -> String {
         write_json_string(&v.rule, &mut out);
         out.push_str(",\"level\":\"error\",\"message\":{\"text\":");
         write_json_string(&v.message, &mut out);
-        out.push_str(
-            "},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":",
-        );
+        out.push_str("},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":");
         write_json_string(&v.file, &mut out);
         out.push_str("},\"region\":{\"startLine\":");
         out.push_str(&v.line.to_string());
@@ -114,7 +112,7 @@ pub fn render_graph_json(stats: &GraphStats) -> String {
         out.push_str(&cs.fns.to_string());
         out.push_str(",\"edges\":");
         out.push_str(&cs.edges.to_string());
-        out.push_str("}");
+        out.push('}');
     }
     out.push_str("}}");
     out
@@ -130,7 +128,10 @@ pub fn render_graph_human(stats: &GraphStats) -> String {
         .max()
         .unwrap_or(5)
         .max("crate".len());
-    out.push_str(&format!("{:width$}  {:>6}  {:>6}\n", "crate", "fns", "edges"));
+    out.push_str(&format!(
+        "{:width$}  {:>6}  {:>6}\n",
+        "crate", "fns", "edges"
+    ));
     for (name, cs) in &stats.crates {
         out.push_str(&format!("{name:width$}  {:>6}  {:>6}\n", cs.fns, cs.edges));
     }
@@ -225,8 +226,12 @@ mod tests {
             total_edges: 1,
             ..GraphStats::default()
         };
-        stats.crates.insert("core".into(), CrateStats { fns: 2, edges: 1 });
-        stats.crates.insert("em-x".into(), CrateStats { fns: 1, edges: 0 });
+        stats
+            .crates
+            .insert("core".into(), CrateStats { fns: 2, edges: 1 });
+        stats
+            .crates
+            .insert("em-x".into(), CrateStats { fns: 1, edges: 0 });
         let json = render_graph_json(&stats);
         assert_eq!(
             json,

@@ -55,7 +55,11 @@ pub const RULE_NAMES: &[&str] = &[
 /// accumulation order now IS the explanation output, so hash-ordered
 /// iteration there would break the kernel's bit-identity contract.
 /// `em-lint` dogfoods its own rule: lint reports are diffed in CI, so
-/// their ordering is output too.
+/// their ordering is output too. `em-route` is in scope because the
+/// routing tier's contract is that a proxied response is byte-identical
+/// to a direct one (ISSUE 10 / DESIGN.md §15): hash-ordered iteration
+/// over ring or health state could reorder failover attempts or metric
+/// series, both of which are observable output.
 const OUTPUT_CRATES: &[&str] = &[
     "core",
     "em-lime",
@@ -66,6 +70,7 @@ const OUTPUT_CRATES: &[&str] = &[
     "em-codec",
     "em-batch",
     "em-lint",
+    "em-route",
 ];
 
 /// Runs every per-file rule over `ctx`. The workspace rules run once per
@@ -152,8 +157,7 @@ const HASH_ITER_METHODS: &[&str] = &[
 /// receivers) or a `for .. in name { .. }` loop over one.
 pub(crate) fn hash_iter_sites(ctx: &FileContext) -> Vec<(usize, usize, String)> {
     let toks = ctx.tokens();
-    let tracked =
-        |name: &str| ctx.hash_locals.contains(name) || ctx.hash_fields.contains(name);
+    let tracked = |name: &str| ctx.hash_locals.contains(name) || ctx.hash_fields.contains(name);
     let mut sites = Vec::new();
     for (i, t) in toks.iter().enumerate() {
         // `name.iter()` and friends on a tracked collection.
@@ -273,7 +277,7 @@ pub fn panic_in_request_path(ctxs: &[FileContext], graph: &Graph) -> Vec<(usize,
     }
     let preds = graph.reachable(&roots, Some(&scope), &|_| false);
     let mut out = Vec::new();
-    for (&f, _) in &preds {
+    for &f in preds.keys() {
         let node = &graph.fns[f];
         let ctx = &ctxs[node.file];
         for (line, message) in panic_sites(ctx, &graph.own_tokens(f)) {

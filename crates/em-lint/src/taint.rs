@@ -46,11 +46,25 @@ pub const SINKS: &[(&str, &str)] = &[
     ("em-serve", "handle_predict"),
     ("em-batch", "execute"),
     ("em-batch", "compute_shard"),
+    // The routing tier: a routed response must be byte-identical to a
+    // direct one, so the proxy handlers are determinism sinks. Health
+    // cooldown clocks are behind declared sanitizers (routing decides
+    // *where* a request goes, never what bytes ship — em-route's
+    // health module docs).
+    ("em-route", "proxy_explain"),
+    ("em-route", "proxy_predict"),
 ];
 
 /// `std::env` accessors that read ambient process state.
 const ENV_READS: &[&str] = &[
-    "var", "vars", "var_os", "vars_os", "args", "args_os", "current_dir", "temp_dir",
+    "var",
+    "vars",
+    "var_os",
+    "vars_os",
+    "args",
+    "args_os",
+    "current_dir",
+    "temp_dir",
 ];
 
 /// The rule name, as written in annotations.
@@ -71,8 +85,9 @@ struct Source {
 pub fn nondet_taint(ctxs: &[FileContext], graph: &Graph) -> Vec<(usize, Finding)> {
     // A fn is a traversal barrier if it sanitizes this rule; bench-crate
     // fns are out of contract entirely.
-    let blocked =
-        |i: usize| graph.fns[i].krate == "bench" || graph.fns[i].sanitizes.iter().any(|r| r == RULE);
+    let blocked = |i: usize| {
+        graph.fns[i].krate == "bench" || graph.fns[i].sanitizes.iter().any(|r| r == RULE)
+    };
 
     let mut out: BTreeMap<(usize, usize), Finding> = BTreeMap::new();
     for &(krate, fname) in SINKS {
@@ -81,7 +96,7 @@ pub fn nondet_taint(ctxs: &[FileContext], graph: &Graph) -> Vec<(usize, Finding)
             continue;
         }
         let preds = graph.reachable(&roots, None, &blocked);
-        for (&f, _) in &preds {
+        for &f in preds.keys() {
             let node = &graph.fns[f];
             for src in fn_sources(graph, f, &ctxs[node.file]) {
                 let key = (node.file, src.line);
@@ -177,8 +192,7 @@ mod tests {
     use crate::parser;
 
     fn run(files: &[(&str, &str)]) -> Vec<(String, Finding)> {
-        let ctxs: Vec<FileContext> =
-            files.iter().map(|(p, s)| FileContext::new(p, s)).collect();
+        let ctxs: Vec<FileContext> = files.iter().map(|(p, s)| FileContext::new(p, s)).collect();
         let items: Vec<parser::FileItems> = ctxs.iter().map(parser::parse).collect();
         let graph = Graph::build(&ctxs, &items, None);
         nondet_taint(&ctxs, &graph)
@@ -201,7 +215,11 @@ mod tests {
         assert_eq!(f.rule, "nondet-taint");
         assert_eq!(f.line, 4);
         assert_eq!(f.alt_line, Some(4));
-        assert!(f.message.contains("run_explain → helper → deeper"), "{}", f.message);
+        assert!(
+            f.message.contains("run_explain → helper → deeper"),
+            "{}",
+            f.message
+        );
     }
 
     #[test]

@@ -1,0 +1,34 @@
+// Fixture (linted as crates/em-route/src/router.rs): a routing decision
+// tainted by an ambient clock, with no declared sanitizer on the path.
+// The real router concentrates its cooldown clock reads in
+// `HealthTable::now_ms`, a declared `nondet-taint` barrier; this fixture
+// shows the shape the barrier exists to forbid — a proxy handler whose
+// backend choice (and therefore whose `X-Backend` attribution and
+// failover order) wobbles with the wall clock, one helper hop down.
+
+use std::time::Instant;
+
+/// Fixture function: determinism sink (router proxy handler).
+pub fn proxy_explain() -> usize {
+    pick_backend(3)
+}
+
+/// Fixture function: innocent-looking intermediary — no source tokens.
+fn pick_backend(n: usize) -> usize {
+    clock_salt() % n
+}
+
+/// Fixture function: the buried source. Unlike `HealthTable::now_ms`
+/// this carries no `sanitize(nondet-taint)` declaration, so the walk
+/// from `proxy_explain` reaches the clock and reports it.
+fn clock_salt() -> usize {
+    let t = Instant::now(); //~ nondet-taint
+    t.elapsed().subsec_nanos() as usize
+}
+
+/// Fixture function: also reads the clock, but only `proxy_*` sinks
+/// anchor traversal — an admin endpoint is not a determinism sink.
+pub fn ring_report() -> usize {
+    let t = Instant::now();
+    t.elapsed().subsec_nanos() as usize
+}

@@ -78,6 +78,10 @@ const FIXTURES: &[(&str, &str)] = &[
         "crates/em-serve/src/server.rs",
     ),
     (
+        "nondet-taint/tainted_routing.rs",
+        "crates/em-route/src/router.rs",
+    ),
+    (
         "fsync-protocol-order/fsync_order_violation.rs",
         "crates/em-batch/src/runner.rs",
     ),
@@ -184,8 +188,9 @@ fn suppressed_fixtures_record_suppressions() {
 /// transitive fixture pair.
 #[test]
 fn taint_fixture_messages_carry_the_witness_chain() {
-    let source = std::fs::read_to_string(fixture_dir().join("nondet-taint/nondet_taint_transitive.rs"))
-        .expect("fixture");
+    let source =
+        std::fs::read_to_string(fixture_dir().join("nondet-taint/nondet_taint_transitive.rs"))
+            .expect("fixture");
     let (violations, _) = lint_source("crates/em-serve/src/server.rs", &source);
     let taint: Vec<_> = violations
         .iter()
@@ -237,8 +242,9 @@ fn v1_wallclock_findings(virtual_path: &str, source: &str) -> Vec<usize> {
 #[test]
 fn v1_path_allowlist_misses_the_transitive_clock_v2_catches() {
     let virtual_path = "crates/em-serve/src/server.rs";
-    let source = std::fs::read_to_string(fixture_dir().join("nondet-taint/nondet_taint_transitive.rs"))
-        .expect("fixture");
+    let source =
+        std::fs::read_to_string(fixture_dir().join("nondet-taint/nondet_taint_transitive.rs"))
+            .expect("fixture");
 
     // v1: silent. The crate is on the wallclock allowlist, so the rule
     // never even scans the file — let alone follows calls into it.
@@ -249,7 +255,10 @@ fn v1_path_allowlist_misses_the_transitive_clock_v2_catches() {
     );
     // …and the sources really are there for v1 to miss (same scan with
     // the allowlist ignored finds both clock reads).
-    assert_eq!(v1_wallclock_findings("crates/core/src/x.rs", &source).len(), 2);
+    assert_eq!(
+        v1_wallclock_findings("crates/core/src/x.rs", &source).len(),
+        2
+    );
 
     // v2: the sink-reachable clock is reported; the unreachable one
     // (`offline_profiler`) correctly is not.
@@ -384,8 +393,16 @@ fn workspace_call_graph_resolves_nodes_and_edges() {
     let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
         .expect("workspace root above em-lint");
     let stats = graph_stats(&root).expect("graph stats");
-    assert!(stats.total_fns > 200, "suspiciously few fns: {}", stats.total_fns);
-    assert!(stats.total_edges > 200, "suspiciously few edges: {}", stats.total_edges);
+    assert!(
+        stats.total_fns > 200,
+        "suspiciously few fns: {}",
+        stats.total_fns
+    );
+    assert!(
+        stats.total_edges > 200,
+        "suspiciously few edges: {}",
+        stats.total_edges
+    );
     for krate in ["core", "em-lint", "em-batch", "em-serve"] {
         let cs = stats
             .crates

@@ -49,10 +49,16 @@ pub enum Stage {
     ModelScoring,
     /// Fitting the weighted linear surrogate.
     SurrogateFit,
+    /// Routing tier (`em-route`): computing the canonical key and the
+    /// ring lookup that picks the owning backend.
+    RouteKey,
+    /// Routing tier (`em-route`): the proxied exchange with the chosen
+    /// backend, including any failover attempts.
+    RouteForward,
 }
 
 /// Number of [`Stage`] variants (array-table size).
-pub const N_STAGES: usize = 6;
+pub const N_STAGES: usize = 8;
 
 impl Stage {
     /// All stages, in pipeline/render order.
@@ -64,6 +70,8 @@ impl Stage {
             Stage::PairReconstruction,
             Stage::ModelScoring,
             Stage::SurrogateFit,
+            Stage::RouteKey,
+            Stage::RouteForward,
         ]
     }
 
@@ -76,6 +84,8 @@ impl Stage {
             Stage::PairReconstruction => "pair_reconstruction",
             Stage::ModelScoring => "model_scoring",
             Stage::SurrogateFit => "surrogate_fit",
+            Stage::RouteKey => "route_key",
+            Stage::RouteForward => "route_forward",
         }
     }
 
@@ -88,6 +98,8 @@ impl Stage {
             Stage::PairReconstruction => 3,
             Stage::ModelScoring => 4,
             Stage::SurrogateFit => 5,
+            Stage::RouteKey => 6,
+            Stage::RouteForward => 7,
         }
     }
 }
@@ -246,12 +258,14 @@ impl Collector {
     }
 
     /// Total nanoseconds recorded for `stage`.
-    pub fn stage_nanos(&self, stage: Stage) -> u64 { // em-lint: allow(panic-in-request-path) -- Stage::index() < STAGE_COUNT by construction, array is STAGE_COUNT long
+    // em-lint: allow(panic-in-request-path) -- Stage::index() < STAGE_COUNT by construction, array is STAGE_COUNT long
+    pub fn stage_nanos(&self, stage: Stage) -> u64 {
         self.stage_nanos[stage.index()].load(Ordering::Relaxed)
     }
 
     /// Number of spans recorded for `stage`.
-    pub fn stage_entries(&self, stage: Stage) -> u64 { // em-lint: allow(panic-in-request-path) -- Stage::index() < STAGE_COUNT by construction, array is STAGE_COUNT long
+    // em-lint: allow(panic-in-request-path) -- Stage::index() < STAGE_COUNT by construction, array is STAGE_COUNT long
+    pub fn stage_entries(&self, stage: Stage) -> u64 {
         self.stage_entries[stage.index()].load(Ordering::Relaxed)
     }
 
@@ -283,12 +297,14 @@ impl Collector {
 }
 
 impl Tracer for Collector {
-    fn record_stage(&self, stage: Stage, nanos: u64) { // em-lint: allow(panic-in-request-path) -- Stage::index() < STAGE_COUNT by construction, arrays are STAGE_COUNT long
+    // em-lint: allow(panic-in-request-path) -- Stage::index() < STAGE_COUNT by construction, arrays are STAGE_COUNT long
+    fn record_stage(&self, stage: Stage, nanos: u64) {
         self.stage_nanos[stage.index()].fetch_add(nanos, Ordering::Relaxed);
         self.stage_entries[stage.index()].fetch_add(1, Ordering::Relaxed);
     }
 
-    fn add(&self, counter: Counter, amount: u64) { // em-lint: allow(panic-in-request-path) -- Counter::index() < COUNTER_COUNT by construction, array is COUNTER_COUNT long
+    // em-lint: allow(panic-in-request-path) -- Counter::index() < COUNTER_COUNT by construction, array is COUNTER_COUNT long
+    fn add(&self, counter: Counter, amount: u64) {
         self.counters[counter.index()].fetch_add(amount, Ordering::Relaxed);
     }
 }

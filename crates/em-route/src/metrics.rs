@@ -1,0 +1,373 @@
+//! The router's own Prometheus surface.
+//!
+//! Every proxied *attempt* is attributed to a `(backend, outcome)` cell
+//! of `em_route_requests_total` — a request that fails over therefore
+//! leaves a visible trail: one `connect_error` on the dead backend and
+//! one `ok` on the survivor that absorbed it. Router-level events that
+//! have no backend (nothing routable) get their own counters. Latency
+//! histograms reuse `em-serve`'s bucket layout ([`LATENCY_BUCKETS_US`])
+//! so the two tiers' dashboards line up, and the proxy path's
+//! `route_key` / `route_forward` stages ([`em_obs::Stage`]) render as
+//! stage histograms exactly like the backends' pipeline stages do.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use em_serve::metrics::LATENCY_BUCKETS_US;
+
+/// The outcome of one proxied attempt against one backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// 2xx answer proxied through.
+    Ok,
+    /// Backend answered non-2xx; passed through verbatim (not a failure
+    /// of the backend — it said no).
+    Status,
+    /// Connect refused/unreachable/timed out: nothing reached the
+    /// backend; the request is eligible for failover.
+    ConnectError,
+    /// The exchange timed out after connecting; answered 504.
+    Timeout,
+    /// The backend spoke something that was not HTTP; answered 502.
+    ProtocolError,
+}
+
+/// Number of [`Outcome`] variants (array-table size).
+pub const N_OUTCOMES: usize = 5;
+
+impl Outcome {
+    /// All outcomes, in render order.
+    pub const fn all() -> [Outcome; N_OUTCOMES] {
+        [
+            Outcome::Ok,
+            Outcome::Status,
+            Outcome::ConnectError,
+            Outcome::Timeout,
+            Outcome::ProtocolError,
+        ]
+    }
+
+    /// The `outcome` label value.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Outcome::Ok => "ok",
+            Outcome::Status => "status",
+            Outcome::ConnectError => "connect_error",
+            Outcome::Timeout => "timeout",
+            Outcome::ProtocolError => "protocol_error",
+        }
+    }
+
+    /// Dense index for array-backed tables.
+    pub const fn index(self) -> usize {
+        match self {
+            Outcome::Ok => 0,
+            Outcome::Status => 1,
+            Outcome::ConnectError => 2,
+            Outcome::Timeout => 3,
+            Outcome::ProtocolError => 4,
+        }
+    }
+}
+
+/// The router endpoints tracked with latency histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteEndpoint {
+    /// Proxied `POST /explain`.
+    Explain,
+    /// Proxied `POST /predict`.
+    Predict,
+    /// Everything the router answers itself (`/healthz`, `/metrics`,
+    /// `/ring`, `/drain`, `/shutdown`, and errors).
+    Admin,
+}
+
+/// Number of [`RouteEndpoint`] variants (array-table size).
+pub const N_ROUTE_ENDPOINTS: usize = 3;
+
+impl RouteEndpoint {
+    /// All endpoints, in render order.
+    pub const fn all() -> [RouteEndpoint; N_ROUTE_ENDPOINTS] {
+        [
+            RouteEndpoint::Explain,
+            RouteEndpoint::Predict,
+            RouteEndpoint::Admin,
+        ]
+    }
+
+    /// The `endpoint` label value.
+    pub const fn label(self) -> &'static str {
+        match self {
+            RouteEndpoint::Explain => "explain",
+            RouteEndpoint::Predict => "predict",
+            RouteEndpoint::Admin => "admin",
+        }
+    }
+
+    /// Dense index for array-backed tables.
+    pub const fn index(self) -> usize {
+        match self {
+            RouteEndpoint::Explain => 0,
+            RouteEndpoint::Predict => 1,
+            RouteEndpoint::Admin => 2,
+        }
+    }
+}
+
+/// Per-backend outcome counters.
+#[derive(Debug, Default)]
+struct BackendSeries {
+    outcomes: [AtomicU64; N_OUTCOMES],
+}
+
+/// One latency histogram.
+#[derive(Debug, Default)]
+struct Histogram {
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    bucket_counts: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+}
+
+impl Histogram {
+    fn observe(&self, us: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        let bucket = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.bucket_counts[bucket].fetch_add(1, Ordering::Relaxed); // em-lint: allow(panic-in-request-path) -- bucket <= LATENCY_BUCKETS_US.len() by position()'s fallback; the array is one cell longer
+    }
+
+    fn render_into(&self, out: &mut String, metric: &str, labels: &str) {
+        let mut cumulative = 0u64;
+        for (i, &bound) in LATENCY_BUCKETS_US.iter().enumerate() {
+            cumulative += self.bucket_counts[i].load(Ordering::Relaxed); // em-lint: allow(panic-in-request-path) -- i < LATENCY_BUCKETS_US.len() from enumerate; the array is one cell longer
+            out.push_str(&format!(
+                "{metric}_bucket{{{labels}le=\"{bound}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative += self.bucket_counts[LATENCY_BUCKETS_US.len()].load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "{metric}_bucket{{{labels}le=\"+Inf\"}} {cumulative}\n"
+        ));
+        out.push_str(&format!(
+            "{metric}_sum{{{trimmed}}} {}\n",
+            self.sum_us.load(Ordering::Relaxed),
+            trimmed = labels.trim_end_matches(','),
+        ));
+        out.push_str(&format!(
+            "{metric}_count{{{trimmed}}} {}\n",
+            self.count.load(Ordering::Relaxed),
+            trimmed = labels.trim_end_matches(','),
+        ));
+    }
+}
+
+/// The registry: `(backend, outcome)` counters, per-endpoint latency,
+/// per-stage latency, and the router-level event counters.
+#[derive(Debug)]
+pub struct RouterMetrics {
+    backends: Vec<BackendSeries>,
+    endpoints: [Histogram; N_ROUTE_ENDPOINTS],
+    stages: [Histogram; 2],
+    failovers: AtomicU64,
+    no_backend: AtomicU64,
+    sheds: AtomicU64,
+    deadline_rejects: AtomicU64,
+}
+
+/// The two proxy stages with histograms, in render order.
+const ROUTE_STAGES: [em_obs::Stage; 2] = [em_obs::Stage::RouteKey, em_obs::Stage::RouteForward];
+
+impl RouterMetrics {
+    /// A fresh registry for `n_backends` backends, all counters zero.
+    pub fn new(n_backends: usize) -> RouterMetrics {
+        RouterMetrics {
+            backends: (0..n_backends).map(|_| BackendSeries::default()).collect(),
+            endpoints: Default::default(),
+            stages: Default::default(),
+            failovers: AtomicU64::new(0),
+            no_backend: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+            deadline_rejects: AtomicU64::new(0),
+        }
+    }
+
+    /// Counts one attempt outcome against one backend.
+    pub fn record_outcome(&self, backend: usize, outcome: Outcome) {
+        if let Some(series) = self.backends.get(backend) {
+            series.outcomes[outcome.index()].fetch_add(1, Ordering::Relaxed); // em-lint: allow(panic-in-request-path) -- Outcome::index() < N_OUTCOMES by construction
+        }
+    }
+
+    /// Attempts recorded for `(backend, outcome)`.
+    pub fn outcome(&self, backend: usize, outcome: Outcome) -> u64 {
+        self.backends
+            .get(backend)
+            .map_or(0, |s| s.outcomes[outcome.index()].load(Ordering::Relaxed)) // em-lint: allow(panic-in-request-path) -- Outcome::index() < N_OUTCOMES by construction
+    }
+
+    /// Observes one request's total router latency for an endpoint.
+    pub fn record_latency(&self, endpoint: RouteEndpoint, us: u64) {
+        self.endpoints[endpoint.index()].observe(us); // em-lint: allow(panic-in-request-path) -- RouteEndpoint::index() < N_ROUTE_ENDPOINTS by construction
+    }
+
+    /// Folds one request's `route_key` / `route_forward` span totals (an
+    /// [`em_obs::Collector`] filled on the proxy path) into the stage
+    /// histograms.
+    pub fn record_stages(&self, trace: &em_obs::Collector) {
+        for (slot, stage) in self.stages.iter().zip(ROUTE_STAGES) {
+            if trace.stage_entries(stage) > 0 {
+                slot.observe(trace.stage_nanos(stage) / 1_000);
+            }
+        }
+    }
+
+    /// Counts one failover hop (a retry against the next ring owner).
+    pub fn record_failover(&self) {
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Failover hops counted so far.
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Counts one request that found no routable backend (answered 503).
+    pub fn record_no_backend(&self) {
+        self.no_backend.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one connection shed because the accept queue was full.
+    pub fn record_shed(&self) {
+        self.sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one connection abandoned by its read/write deadline.
+    pub fn record_deadline_reject(&self) {
+        self.deadline_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the Prometheus text exposition. `names[i]` labels backend
+    /// `i`; extra series (probe state) are appended by the caller.
+    pub fn render(&self, names: &[&str]) -> String {
+        let mut out = String::new();
+        out.push_str("# TYPE em_route_requests_total counter\n");
+        for (i, series) in self.backends.iter().enumerate() {
+            let name = names.get(i).copied().unwrap_or("?");
+            for outcome in Outcome::all() {
+                out.push_str(&format!(
+                    "em_route_requests_total{{backend=\"{name}\",outcome=\"{}\"}} {}\n",
+                    outcome.label(),
+                    series.outcomes[outcome.index()].load(Ordering::Relaxed),
+                ));
+            }
+        }
+        out.push_str("# TYPE em_route_failovers_total counter\n");
+        out.push_str(&format!(
+            "em_route_failovers_total {}\n",
+            self.failovers.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE em_route_no_backend_total counter\n");
+        out.push_str(&format!(
+            "em_route_no_backend_total {}\n",
+            self.no_backend.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE em_route_sheds_total counter\n");
+        out.push_str(&format!(
+            "em_route_sheds_total {}\n",
+            self.sheds.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE em_route_deadline_rejects_total counter\n");
+        out.push_str(&format!(
+            "em_route_deadline_rejects_total {}\n",
+            self.deadline_rejects.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE em_route_request_latency_us histogram\n");
+        for endpoint in RouteEndpoint::all() {
+            self.endpoints[endpoint.index()].render_into(
+                &mut out,
+                "em_route_request_latency_us",
+                &format!("endpoint=\"{}\",", endpoint.label()),
+            );
+        }
+        out.push_str("# TYPE em_route_stage_latency_us histogram\n");
+        for (slot, stage) in self.stages.iter().zip(ROUTE_STAGES) {
+            slot.render_into(
+                &mut out,
+                "em_route_stage_latency_us",
+                &format!("stage=\"{}\",", stage.label()),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcomes_are_attributed_per_backend() {
+        let m = RouterMetrics::new(2);
+        m.record_outcome(0, Outcome::Ok);
+        m.record_outcome(0, Outcome::Ok);
+        m.record_outcome(1, Outcome::ConnectError);
+        m.record_outcome(7, Outcome::Ok); // unknown backend: dropped, not a panic
+        assert_eq!(m.outcome(0, Outcome::Ok), 2);
+        assert_eq!(m.outcome(1, Outcome::ConnectError), 1);
+        let text = m.render(&["alpha", "beta"]);
+        assert!(text.contains("em_route_requests_total{backend=\"alpha\",outcome=\"ok\"} 2"));
+        assert!(
+            text.contains("em_route_requests_total{backend=\"beta\",outcome=\"connect_error\"} 1")
+        );
+        // Every (backend, outcome) cell renders even at zero.
+        assert!(text.contains("em_route_requests_total{backend=\"beta\",outcome=\"timeout\"} 0"));
+    }
+
+    #[test]
+    fn latency_histograms_render_cumulative_buckets() {
+        let m = RouterMetrics::new(1);
+        m.record_latency(RouteEndpoint::Explain, 50);
+        m.record_latency(RouteEndpoint::Explain, 700);
+        let text = m.render(&["a"]);
+        assert!(
+            text.contains("em_route_request_latency_us_bucket{endpoint=\"explain\",le=\"100\"} 1")
+        );
+        assert!(
+            text.contains("em_route_request_latency_us_bucket{endpoint=\"explain\",le=\"1000\"} 2")
+        );
+        assert!(
+            text.contains("em_route_request_latency_us_bucket{endpoint=\"explain\",le=\"+Inf\"} 2")
+        );
+        assert!(text.contains("em_route_request_latency_us_count{endpoint=\"explain\"} 2"));
+    }
+
+    #[test]
+    fn stage_histograms_fold_a_collector() {
+        use em_obs::Tracer;
+        let m = RouterMetrics::new(1);
+        let trace = em_obs::Collector::new();
+        trace.record_stage(em_obs::Stage::RouteKey, 40_000); // 40 us
+        trace.record_stage(em_obs::Stage::RouteForward, 2_000_000); // 2000 us
+        m.record_stages(&trace);
+        let text = m.render(&["a"]);
+        assert!(text.contains("em_route_stage_latency_us_count{stage=\"route_key\"} 1"));
+        assert!(text.contains("em_route_stage_latency_us_sum{stage=\"route_forward\"} 2000"));
+    }
+
+    #[test]
+    fn router_level_counters_render() {
+        let m = RouterMetrics::new(1);
+        m.record_failover();
+        m.record_no_backend();
+        m.record_shed();
+        m.record_deadline_reject();
+        let text = m.render(&["a"]);
+        assert!(text.contains("em_route_failovers_total 1"));
+        assert!(text.contains("em_route_no_backend_total 1"));
+        assert!(text.contains("em_route_sheds_total 1"));
+        assert!(text.contains("em_route_deadline_rejects_total 1"));
+        assert_eq!(m.failovers(), 1);
+    }
+}

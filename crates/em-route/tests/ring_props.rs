@@ -1,0 +1,176 @@
+//! Property tests for the consistent-hash ring: ownership is a pure
+//! function of (backend names, weights, key) — stable across builds and
+//! process runs — and removing a backend remaps *only* the removed
+//! backend's keys.
+
+use em_route::{BackendSpec, Ring};
+use proptest::prelude::*;
+
+fn specs(names: &[String], weights: &[u32]) -> Vec<BackendSpec> {
+    names
+        .iter()
+        .zip(weights)
+        .enumerate()
+        .map(|(i, (name, &weight))| BackendSpec {
+            name: name.clone(),
+            addr: format!("127.0.0.1:{}", 9000 + i).parse().expect("addr"),
+            weight,
+        })
+        .collect()
+}
+
+/// Owner resolved to its *name*, which survives index shifts when the
+/// backend list changes.
+fn owner_name(ring: &Ring, backends: &[BackendSpec], key: &str) -> Option<String> {
+    ring.owner(key)
+        .and_then(|i| backends.get(i))
+        .map(|b| b.name.clone())
+}
+
+/// Distinct backend names: a shared random prefix plus the index.
+fn arb_names(n: usize) -> impl Strategy<Value = Vec<String>> {
+    "[a-z]{1,6}".prop_map(move |prefix| (0..n).map(|i| format!("{prefix}-{i}")).collect())
+}
+
+fn arb_keys() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(".{0,40}", 1..50)
+}
+
+proptest! {
+    /// Two independent builds over the same specs agree on every owner —
+    /// there is no hidden state (allocation order, map iteration, clock)
+    /// in placement.
+    #[test]
+    fn rebuilding_the_ring_preserves_every_owner(
+        n in 1usize..6,
+        weights in prop::collection::vec(0u32..4, 6),
+        keys in arb_keys(),
+        names in arb_names(6),
+    ) {
+        let backends = specs(&names[..n], &weights[..n]);
+        let first = Ring::build(&backends);
+        let second = Ring::build(&backends);
+        for key in &keys {
+            prop_assert_eq!(first.owner(key), second.owner(key));
+            prop_assert_eq!(first.owners(key), second.owners(key));
+        }
+    }
+
+    /// Removing one backend never moves a key between two *surviving*
+    /// backends: the only keys that change owner are the removed
+    /// backend's own.
+    #[test]
+    fn removal_remaps_only_the_removed_backends_keys(
+        n in 2usize..6,
+        removed in 0usize..6,
+        keys in arb_keys(),
+        names in arb_names(6),
+    ) {
+        let removed = removed % n;
+        let full = specs(&names[..n], &[1; 6][..n]);
+        let full_ring = Ring::build(&full);
+        let mut reduced = full.clone();
+        reduced.remove(removed);
+        let reduced_ring = Ring::build(&reduced);
+        for key in &keys {
+            let before = owner_name(&full_ring, &full, key).expect("non-empty ring");
+            let after = owner_name(&reduced_ring, &reduced, key).expect("non-empty ring");
+            if before != full[removed].name {
+                // A survivor-owned key must not move when another
+                // backend is removed.
+                prop_assert_eq!(before, after);
+            } else {
+                prop_assert_ne!(after, full[removed].name.clone());
+            }
+        }
+    }
+
+    /// The failover chain always starts at the owner, never repeats a
+    /// backend, and covers every weighted backend.
+    #[test]
+    fn failover_order_starts_at_owner_without_repeats(
+        n in 1usize..6,
+        key in ".{0,40}",
+        names in arb_names(6),
+    ) {
+        let backends = specs(&names[..n], &[1; 6][..n]);
+        let ring = Ring::build(&backends);
+        let order = ring.owners(&key);
+        prop_assert_eq!(order.len(), n);
+        prop_assert_eq!(Some(order[0]), ring.owner(&key));
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), n);
+    }
+}
+
+/// The headline remap bound at scale: 10 000 keys over 5 backends, one
+/// backend removed — zero survivor-owned keys move, and the moved share
+/// is roughly the removed backend's keyspace share.
+#[test]
+fn ten_thousand_keys_zero_survivor_remaps() {
+    let names: Vec<String> = (0..5).map(|i| format!("node-{i}")).collect();
+    let full = specs(&names, &[1; 5]);
+    let full_ring = Ring::build(&full);
+    let removed = 2usize;
+    let mut reduced = full.clone();
+    reduced.remove(removed);
+    let reduced_ring = Ring::build(&reduced);
+
+    let mut remapped = 0usize;
+    let mut owned_by_removed = 0usize;
+    for i in 0..10_000 {
+        let key = format!("pair-key-{i}");
+        let before = owner_name(&full_ring, &full, &key).expect("owner");
+        let after = owner_name(&reduced_ring, &reduced, &key).expect("owner");
+        if before == full[removed].name {
+            owned_by_removed += 1;
+            assert_ne!(after, before, "key {key:?} still owned by removed node");
+            remapped += 1;
+        } else {
+            assert_eq!(before, after, "survivor-owned key {key:?} remapped");
+        }
+    }
+    assert_eq!(
+        remapped, owned_by_removed,
+        "every remapped key belonged to the removed backend"
+    );
+    // The removed node's share of 10k keys should be near 1/5; vnode
+    // placement variance keeps it within a loose band.
+    assert!(
+        (1_000..=3_000).contains(&owned_by_removed),
+        "removed backend owned {owned_by_removed}/10000 keys; ring is badly unbalanced"
+    );
+}
+
+/// Cross-process determinism: owners of fixed keys for a fixed backend
+/// set are pinned as constants. A failure here means ring placement (or
+/// the shared FNV-1a) changed and every deployed router/backend pair
+/// would disagree after a rolling upgrade.
+#[test]
+fn fixed_keys_have_pinned_owners_across_process_runs() {
+    let names: Vec<String> = ["alpha", "beta", "gamma"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let backends = specs(&names, &[1, 1, 1]);
+    let ring = Ring::build(&backends);
+    // Pinned from an independent FNV-1a + SplitMix64 + bisect reference
+    // implementation, not from this crate's own output.
+    let expected: &[(&str, usize)] = &[
+        ("", 0),
+        ("k1", 0),
+        ("k2", 1),
+        ("{\"left\":[\"a\"],\"right\":[\"b\"]}", 1),
+        ("pair-key-0", 0),
+        ("pair-key-1", 2),
+    ];
+    for &(key, owner) in expected {
+        assert_eq!(
+            ring.owner(key),
+            Some(owner),
+            "owner of {key:?} drifted — placement is no longer stable across runs"
+        );
+    }
+}

@@ -18,13 +18,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// FNV-1a 64-bit: a stable, dependency-free string hash.
+///
+/// Delegates to `em-codec`'s hasher so the shard pick here and the ring
+/// placement in `em-route` agree on every bit of the same canonical key.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x100_0000_01b3);
-    }
-    hash
+    em_codec::hash::fnv1a64(bytes)
 }
 
 struct Entry {

@@ -13,9 +13,13 @@
 //!   [`ServerConfig::slow_request_ms`] are logged to stderr;
 //! * `POST /predict` — record pair → match probability + decision;
 //! * `GET /healthz` — liveness;
+//! * `GET /readyz` — readiness: `200` while accepting, `503` (with the
+//!   current queue depth) once the node is draining;
 //! * `GET /metrics` — Prometheus text: per-endpoint request counters and
 //!   latency histograms, per-pipeline-stage latency histograms
 //!   (`em_serve_stage_latency_us`), slow-request and cache counters;
+//! * `POST /drain` — mark the node draining (readiness goes red, liveness
+//!   stays green) so routers stop sending while in-flight work finishes;
 //! * `POST /shutdown` — graceful stop (in-flight requests drain).
 //!
 //! Concurrency comes from a bounded accept/worker pool built on
@@ -46,6 +50,7 @@ pub mod pool;
 pub mod server;
 
 pub use cache::{CacheStats, ShardedCache};
+pub use client::{ClientError, ClientResponse};
 pub use codec::{ExplainOptions, ExplainRequest, ExplainerKind};
 pub use deadline::{Deadline, DeadlineStream};
 pub use json::{JsonError, Value};

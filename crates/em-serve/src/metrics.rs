@@ -24,8 +24,12 @@ pub enum Endpoint {
     Predict,
     /// `GET /healthz`.
     Healthz,
+    /// `GET /readyz`.
+    Readyz,
     /// `GET /metrics`.
     Metrics,
+    /// `POST /drain`.
+    Drain,
     /// `POST /shutdown`.
     Shutdown,
     /// Anything else.
@@ -34,12 +38,14 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// All endpoints, in render order.
-    pub fn all() -> [Endpoint; 6] {
+    pub fn all() -> [Endpoint; 8] {
         [
             Endpoint::Explain,
             Endpoint::Predict,
             Endpoint::Healthz,
+            Endpoint::Readyz,
             Endpoint::Metrics,
+            Endpoint::Drain,
             Endpoint::Shutdown,
             Endpoint::Other,
         ]
@@ -51,7 +57,9 @@ impl Endpoint {
             Endpoint::Explain => "explain",
             Endpoint::Predict => "predict",
             Endpoint::Healthz => "healthz",
+            Endpoint::Readyz => "readyz",
             Endpoint::Metrics => "metrics",
+            Endpoint::Drain => "drain",
             Endpoint::Shutdown => "shutdown",
             Endpoint::Other => "other",
         }
@@ -62,9 +70,11 @@ impl Endpoint {
             Endpoint::Explain => 0,
             Endpoint::Predict => 1,
             Endpoint::Healthz => 2,
-            Endpoint::Metrics => 3,
-            Endpoint::Shutdown => 4,
-            Endpoint::Other => 5,
+            Endpoint::Readyz => 3,
+            Endpoint::Metrics => 4,
+            Endpoint::Drain => 5,
+            Endpoint::Shutdown => 6,
+            Endpoint::Other => 7,
         }
     }
 }
@@ -161,7 +171,7 @@ struct StageSeries {
 /// The registry: one series per endpoint plus per-stage histograms.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    series: [EndpointSeries; 6],
+    series: [EndpointSeries; 8],
     stages: [StageSeries; em_obs::N_STAGES],
     slow_requests: AtomicU64,
     rejects: [AtomicU64; 8],
@@ -175,7 +185,8 @@ impl Metrics {
 
     /// Records one request: its endpoint, latency, and whether it was
     /// answered with a non-2xx status.
-    pub fn record(&self, endpoint: Endpoint, latency_us: u64, is_error: bool) { // em-lint: allow(panic-in-request-path) -- endpoint/bucket indices are bounded by Endpoint::index() and position()'s unwrap_or fallback
+    // em-lint: allow(panic-in-request-path) -- endpoint/bucket indices are bounded by Endpoint::index() and position()'s unwrap_or fallback
+    pub fn record(&self, endpoint: Endpoint, latency_us: u64, is_error: bool) {
         let series = &self.series[endpoint.index()];
         series.requests.fetch_add(1, Ordering::Relaxed);
         if is_error {
@@ -202,7 +213,8 @@ impl Metrics {
     /// filled during `/explain`) into the stage histograms. Stages the
     /// request never entered (e.g. everything on a cache hit) are skipped
     /// rather than observed as zeros.
-    pub fn record_explain_stages(&self, trace: &em_obs::Collector) { // em-lint: allow(panic-in-request-path) -- stage/bucket indices are bounded by Stage::index() and position()'s unwrap_or fallback
+    // em-lint: allow(panic-in-request-path) -- stage/bucket indices are bounded by Stage::index() and position()'s unwrap_or fallback
+    pub fn record_explain_stages(&self, trace: &em_obs::Collector) {
         for stage in em_obs::Stage::all() {
             if trace.stage_entries(stage) == 0 {
                 continue;
@@ -248,7 +260,8 @@ impl Metrics {
     /// Renders the Prometheus text exposition, including the cache
     /// counters passed in (the cache lives next to the registry in the
     /// server state).
-    pub fn render(&self, cache: &CacheStats, cache_len: usize) -> String { // em-lint: allow(panic-in-request-path) -- every index is an enum index or i < LATENCY_BUCKETS_US.len() from enumerate(); arrays are one cell longer for the +Inf bucket
+    // em-lint: allow(panic-in-request-path) -- every index is an enum index or i < LATENCY_BUCKETS_US.len() from enumerate(); arrays are one cell longer for the +Inf bucket
+    pub fn render(&self, cache: &CacheStats, cache_len: usize) -> String {
         let mut out = String::new();
         out.push_str("# TYPE em_serve_requests_total counter\n");
         for ep in Endpoint::all() {

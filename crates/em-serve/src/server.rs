@@ -100,6 +100,12 @@ struct AppState {
     request_timeout: Duration,
     max_queue_age: Duration,
     shutdown: AtomicBool,
+    /// Set by `POST /drain`: the node keeps serving, but `GET /readyz`
+    /// answers 503 so a routing tier stops sending it new traffic.
+    draining: AtomicBool,
+    /// The accept queue lives in the shared state (not as a local of
+    /// `run`) so `GET /readyz` can report its current depth.
+    queue: BoundedQueue<TcpStream>,
     addr: SocketAddr,
 }
 
@@ -150,6 +156,8 @@ impl Server {
                 request_timeout: config.request_timeout,
                 max_queue_age: config.max_queue_age,
                 shutdown: AtomicBool::new(false),
+                draining: AtomicBool::new(false),
+                queue: BoundedQueue::new(config.queue_depth),
                 addr,
             },
         })
@@ -164,8 +172,7 @@ impl Server {
     /// requests and returns.
     pub fn run(self) {
         let state = &self.state;
-        let queue: BoundedQueue<TcpStream> = BoundedQueue::new(self.queue_depth);
-        let queue = &queue;
+        let queue = &state.queue;
         em_par::scoped_workers(
             self.workers,
             |_worker| {
@@ -367,6 +374,7 @@ fn route(state: &AppState, request: &Request) -> (Endpoint, Response, bool) {
             ),
             false,
         ),
+        ("GET", "/readyz") => (Endpoint::Readyz, handle_readyz(state), false),
         ("GET", "/metrics") => (
             Endpoint::Metrics,
             Response::text(
@@ -375,6 +383,17 @@ fn route(state: &AppState, request: &Request) -> (Endpoint, Response, bool) {
             ),
             false,
         ),
+        ("POST", "/drain") => {
+            state.draining.store(true, Ordering::SeqCst);
+            (
+                Endpoint::Drain,
+                Response::json(
+                    200,
+                    Value::object(vec![("draining", true.into())]).to_json(),
+                ),
+                false,
+            )
+        }
         ("POST", "/shutdown") => (
             Endpoint::Shutdown,
             Response::json(
@@ -383,12 +402,12 @@ fn route(state: &AppState, request: &Request) -> (Endpoint, Response, bool) {
             ),
             true,
         ),
-        (_, "/explain" | "/predict" | "/shutdown") => (
+        (_, "/explain" | "/predict" | "/drain" | "/shutdown") => (
             Endpoint::Other,
             Response::json(405, error_body("use POST")),
             false,
         ),
-        (_, "/healthz" | "/metrics") => (
+        (_, "/healthz" | "/readyz" | "/metrics") => (
             Endpoint::Other,
             Response::json(405, error_body("use GET")),
             false,
@@ -399,6 +418,23 @@ fn route(state: &AppState, request: &Request) -> (Endpoint, Response, bool) {
             false,
         ),
     }
+}
+
+/// `GET /readyz`: readiness, as distinct from `/healthz` liveness. A
+/// draining node (after `POST /drain`) is alive — it still answers
+/// in-flight and direct traffic — but not *ready*: it answers 503 here so
+/// a routing tier stops assigning it new keys before the queue ever
+/// sheds. The body always reports the draining flag and the current
+/// accept-queue depth so operators can watch a drain complete.
+fn handle_readyz(state: &AppState) -> Response {
+    let draining = state.draining.load(Ordering::SeqCst);
+    let body = Value::object(vec![
+        ("ready", (!draining).into()),
+        ("draining", draining.into()),
+        ("queue_depth", state.queue.len().into()),
+    ])
+    .to_json();
+    Response::json(if draining { 503 } else { 200 }, body)
 }
 
 fn handle_explain(state: &AppState, request: &Request) -> Response {
